@@ -1,0 +1,28 @@
+"""EXP-F2 — Figure 2: LkP performance and epochs-to-best across k."""
+
+from bench_helpers import bench_scale
+
+from repro.experiments import fig2_k_sweep
+
+
+def test_fig2_k_sweep_ps(benchmark):
+    report = benchmark.pedantic(
+        lambda: fig2_k_sweep(variant="PS", scale=bench_scale(), ks=(2, 3, 4, 5, 6)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.text)
+    assert [p.parameter for p in report.points] == [2, 3, 4, 5, 6]
+    for point in report.points:
+        assert point.metrics["Nd@5"] >= 0
+        assert point.epochs_to_best >= 1
+
+
+def test_fig2_k_sweep_nps(benchmark):
+    report = benchmark.pedantic(
+        lambda: fig2_k_sweep(variant="NPS", scale=bench_scale(), ks=(2, 4, 6)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.text)
+    assert len(report.points) == 3

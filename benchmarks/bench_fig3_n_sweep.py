@@ -1,0 +1,18 @@
+"""EXP-F3 — Figure 3: LkP-PS across negative-sample counts n (k = 5)."""
+
+from bench_helpers import bench_scale
+
+from repro.experiments import fig3_n_sweep
+
+
+def test_fig3_n_sweep(benchmark):
+    report = benchmark.pedantic(
+        lambda: fig3_n_sweep(scale=bench_scale(), ns=(1, 2, 3, 4, 5, 6)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.text)
+    assert [p.parameter for p in report.points] == [1, 2, 3, 4, 5, 6]
+    # Top-5 and Top-20 series both present for every point.
+    for point in report.points:
+        assert "F@5" in point.metrics and "F@20" in point.metrics

@@ -1,0 +1,44 @@
+"""EXP-F4 / EXP-A1 — Figure 4: k-DPP probability evolution by target count,
+plus the diversified-vs-monotonous target comparison of §IV-B2."""
+
+import numpy as np
+from bench_helpers import bench_scale
+
+from repro.experiments import (
+    ablation_diverse_vs_monotonous,
+    fig4_probability_evolution,
+)
+
+
+def test_fig4_probability_evolution(benchmark):
+    report = benchmark.pedantic(
+        lambda: fig4_probability_evolution(variant="PS", scale=bench_scale()),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.text)
+    epochs = sorted(report.snapshots)
+    assert epochs[0] == 0
+    first = report.snapshots[epochs[0]]
+    last = report.snapshots[epochs[-1]]
+    # Before training every group sits near uniform...
+    assert np.all(
+        np.abs(first.mean_probability - first.uniform) < 0.5 * first.uniform
+    )
+    # ...after training the full-target group dominates and the gap to the
+    # zero-target group has widened (the paper's Figure 4 trend).
+    assert last.mean_probability[-1] > 10 * last.uniform
+    assert (
+        last.mean_probability[-1] - last.mean_probability[0]
+        > first.mean_probability[-1] - first.mean_probability[0]
+    )
+
+
+def test_diverse_vs_monotonous_targets(benchmark):
+    report, text = benchmark.pedantic(
+        lambda: ablation_diverse_vs_monotonous(scale=bench_scale()),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + text)
+    assert report.diverse_count + report.monotonous_count > 0

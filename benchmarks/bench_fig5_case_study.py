@@ -1,0 +1,20 @@
+"""EXP-F5 — Figure 5: the per-user case study (BPR vs S2SRank vs LkP)."""
+
+from bench_helpers import bench_scale
+
+from repro.experiments import run_case_study
+
+
+def test_fig5_case_study(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_case_study(scale=bench_scale()), rounds=1, iterations=1
+    )
+    print("\n" + report.text)
+    assert set(report.top5) == {"BPR", "S2SRank", "LkP-PS"}
+    for entries in report.top5.values():
+        assert len(entries) == 5
+    # Subset analysis covers all C(5, 3) = 10 subsets, each with a
+    # category-breadth annotation.
+    assert len(report.subset_probabilities) == 10
+    probabilities = [p for _, _, p in report.subset_probabilities]
+    assert abs(sum(probabilities) - 1.0) < 1e-6

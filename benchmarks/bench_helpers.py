@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every paper table/figure has a bench module that regenerates it at the
+``quick`` experiment scale (seconds-to-minutes per table) and prints the
+same rows the paper reports.  Set ``REPRO_BENCH_DATASETS`` to a
+comma-separated list (e.g. ``beauty-like,ml-like,anime-like``) to widen
+the sweep, and ``REPRO_BENCH_SCALE`` to ``small``/``full`` for the
+higher-fidelity runs recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+DEFAULT_DATASETS = ("beauty-like",)
+
+
+def bench_datasets() -> tuple[str, ...]:
+    raw = os.environ.get("REPRO_BENCH_DATASETS", "")
+    if not raw:
+        return DEFAULT_DATASETS
+    return tuple(name.strip() for name in raw.split(",") if name.strip())
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")

@@ -1,0 +1,22 @@
+"""EXP-T1 — Table I: dataset statistics of the three synthetic stand-ins."""
+
+from bench_helpers import bench_scale
+
+from repro.experiments import prepare_dataset, table1_dataset_statistics
+from repro.experiments.common import SCALES
+
+
+def test_table1_dataset_statistics(benchmark):
+    report = benchmark.pedantic(
+        lambda: table1_dataset_statistics(bench_scale()), rounds=1, iterations=1
+    )
+    print("\n" + report.text)
+    assert "beauty-like" in report.text
+
+    # The paper's two analysis axes must hold at bench scale too.
+    scale = SCALES[bench_scale()]
+    beauty = prepare_dataset("beauty-like", scale).dataset
+    ml = prepare_dataset("ml-like", scale).dataset
+    anime = prepare_dataset("anime-like", scale).dataset
+    assert beauty.num_categories > anime.num_categories > ml.num_categories
+    assert beauty.density < anime.density < ml.density

@@ -1,0 +1,23 @@
+"""EXP-T3 — Table III: LkP-PS / LkP-NPS vs ranking baselines on basic MF."""
+
+from bench_helpers import bench_datasets, bench_scale
+
+from repro.experiments import table3_mf_comparison
+
+
+def test_table3_mf_comparison(benchmark):
+    report = benchmark.pedantic(
+        lambda: table3_mf_comparison(bench_scale(), datasets=bench_datasets()),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + report.text)
+    methods = {cell.method for cell in report.cells}
+    assert {"LkP-PS", "LkP-NPS", "BPR", "SetRank", "S2SRank"} <= methods
+    lkp_best = max(
+        c.metrics["F@10"] for c in report.cells if c.method.startswith("LkP")
+    )
+    baseline_best = max(
+        c.metrics["F@10"] for c in report.cells if not c.method.startswith("LkP")
+    )
+    assert lkp_best >= 0.85 * baseline_best

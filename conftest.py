@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+The offline execution environment lacks the ``wheel`` package, so
+``pip install -e .`` cannot complete PEP 517 metadata generation (use
+``python setup.py develop`` instead).  This shim keeps the test and
+benchmark suites runnable either way.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

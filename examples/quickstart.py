@@ -1,0 +1,67 @@
+"""Quickstart: train a recommender with the LkP criterion in ~30 lines.
+
+Walks the full pipeline of the paper on a small synthetic MovieLens-like
+dataset:
+
+1. generate implicit feedback and split it 70/10/20;
+2. pre-train the diversity kernel K (Eq. 3);
+3. train a matrix-factorization model with LkP-NPS (Eq. 10);
+4. evaluate relevance (Recall/NDCG), diversity (CC) and the trade-off (F)
+   against a BPR baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.data import mine_diversity_pairs, movielens_like
+from repro.dpp import DiversityKernelConfig, DiversityKernelLearner
+from repro.losses import BPRCriterion, make_lkp_variant
+from repro.models import MFRecommender
+from repro.train import TrainConfig, Trainer
+
+
+def main() -> None:
+    # 1. Data: a dense, genre-labelled dataset in the mold of ML-1M.
+    dataset = movielens_like(scale=0.5).filter_min_interactions(5)
+    split = dataset.split(np.random.default_rng(0))
+    print(f"dataset: {dataset.stats().as_row()}")
+
+    # 2. Diversity kernel: maximize log det over category-diverse subsets.
+    pairs = mine_diversity_pairs(
+        split, set_size=5, pairs_per_user=2, mode="monotonous",
+        rng=np.random.default_rng(1),
+    )
+    learner = DiversityKernelLearner(
+        dataset.num_items, DiversityKernelConfig(rank=16, epochs=15, lr=0.03)
+    )
+    learner.fit(pairs)
+    kernel = learner.kernel()
+    print(f"diversity kernel trained on {len(pairs)} (diverse, monotonous) pairs")
+
+    # 3. Train MF with LkP-NPS, and MF with BPR for comparison.
+    results = {}
+    for name, criterion, lr in (
+        ("LkP-NPS", make_lkp_variant("NPS", diversity_kernel=kernel, k=5, n=5), 0.05),
+        ("BPR", BPRCriterion(), 0.02),
+    ):
+        model = MFRecommender(dataset.num_users, dataset.num_items, dim=16, rng=0)
+        trainer = Trainer(
+            model, criterion, split,
+            TrainConfig(epochs=80, lr=lr, batch_size=32, patience=10, seed=2),
+        )
+        fit = trainer.fit()
+        results[name] = trainer.evaluate(target="test")
+        print(f"{name}: trained {fit.epochs_run} epochs (best at {fit.best_epoch})")
+
+    # 4. Compare.
+    print(f"\n{'metric':<8} {'LkP-NPS':>10} {'BPR':>10}")
+    for metric in ("Re@5", "Nd@5", "CC@5", "F@5", "Re@10", "Nd@10", "CC@10", "F@10"):
+        print(
+            f"{metric:<8} {results['LkP-NPS'][metric]:>10.4f} "
+            f"{results['BPR'][metric]:>10.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Reworking an existing model with LkP (the paper's Table IV experiment).
+
+The paper's generality claim: LkP "can be adaptively applied to existing
+CF models as an objective function".  This example takes NeuMF — a
+neural model with its own binary-cross-entropy objective — and swaps only
+the loss for LkP-NPS, leaving the architecture untouched, then compares
+native vs reworked on relevance, diversity and the trade-off.
+
+Run:  python examples/rework_neumf_with_lkp.py
+"""
+
+import numpy as np
+
+from repro.data import anime_like, mine_diversity_pairs
+from repro.dpp import DiversityKernelConfig, DiversityKernelLearner
+from repro.losses import BCECriterion, make_lkp_variant
+from repro.models import NeuMFRecommender
+from repro.train import TrainConfig, Trainer
+
+
+def build_model(dataset, seed: int) -> NeuMFRecommender:
+    return NeuMFRecommender(
+        dataset.num_users,
+        dataset.num_items,
+        dim=16,
+        mlp_layers=(32, 16, 8),
+        rng=seed,
+    )
+
+
+def main() -> None:
+    dataset = anime_like(scale=0.5).filter_min_interactions(5)
+    split = dataset.split(np.random.default_rng(0))
+    print(f"dataset: {dataset.stats().as_row()}")
+
+    pairs = mine_diversity_pairs(
+        split, set_size=5, pairs_per_user=2, mode="monotonous",
+        rng=np.random.default_rng(1),
+    )
+    learner = DiversityKernelLearner(
+        dataset.num_items, DiversityKernelConfig(rank=16, epochs=15, lr=0.03)
+    )
+    learner.fit(pairs)
+    kernel = learner.kernel()
+
+    runs = {
+        # NeuMF's native objective: pointwise binary cross-entropy.
+        "NeuMF (BCE)": (BCECriterion(), 0.02),
+        # The rework: identical architecture, LkP-NPS objective.  NeuMF
+        # outputs probabilities, so LkP applies its sigmoid quality
+        # transform automatically (model.quality_transform == "sigmoid").
+        "NeuMF-NPS": (make_lkp_variant("NPS", diversity_kernel=kernel, k=5, n=5), 0.05),
+    }
+
+    results = {}
+    for name, (criterion, lr) in runs.items():
+        model = build_model(dataset, seed=0)
+        # LkP converges slower than pointwise losses (paper Fig. 2 reports
+        # 150-500 epochs); give both methods the same generous budget and
+        # let early stopping pick each one's best epoch.
+        trainer = Trainer(
+            model, criterion, split,
+            TrainConfig(epochs=150, lr=lr, batch_size=32, patience=20, seed=2),
+        )
+        fit = trainer.fit()
+        results[name] = trainer.evaluate(target="test")
+        print(f"{name}: {fit.epochs_run} epochs (best at {fit.best_epoch})")
+
+    print(f"\n{'metric':<8}" + "".join(f"{name:>14}" for name in runs))
+    for metric in ("Re@10", "Nd@10", "CC@10", "F@10", "Re@20", "Nd@20", "CC@20", "F@20"):
+        row = "".join(f"{results[name][metric]:>14.4f}" for name in runs)
+        print(f"{metric:<8}{row}")
+    improv = (
+        results["NeuMF-NPS"]["F@10"] / max(results["NeuMF (BCE)"]["F@10"], 1e-12) - 1
+    )
+    print(f"\nF@10 change from the LkP rework: {100 * improv:+.1f}%")
+
+
+if __name__ == "__main__":
+    main()

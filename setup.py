@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs cannot build.  Keeping a ``setup.py`` (and no
+``[build-system]`` table in pyproject.toml) lets ``pip install -e .`` fall
+back to the classic ``setup.py develop`` path, which needs only
+setuptools.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""``repro.autodiff`` — a reverse-mode automatic differentiation engine.
+
+This subpackage stands in for PyTorch in the reproduction.  It provides:
+
+* :class:`~repro.autodiff.tensor.Tensor` — numpy-backed reverse-mode AD;
+* :mod:`~repro.autodiff.functional` — log-determinants, traces of matrix
+  powers (the differentiable k-DPP normalization path), softmax family,
+  embedding gathers;
+* :mod:`~repro.autodiff.nn` — ``Module`` / ``Linear`` / ``Embedding`` /
+  ``MLP`` / ``Dropout`` layers;
+* :mod:`~repro.autodiff.optim` — SGD / Adam / AdaGrad;
+* :mod:`~repro.autodiff.sparse` — constant-sparse × dense products for
+  graph models;
+* :mod:`~repro.autodiff.gradcheck` — finite-difference verification.
+"""
+
+from . import functional, init, nn, optim, sparse
+from .gradcheck import check_gradient, numeric_gradient
+from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "nn",
+    "optim",
+    "init",
+    "sparse",
+    "check_gradient",
+    "numeric_gradient",
+]

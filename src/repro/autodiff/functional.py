@@ -1,0 +1,291 @@
+"""Composite and linear-algebra operations for the autodiff engine.
+
+These functions complement the methods on :class:`~repro.autodiff.Tensor`
+with the operations the LkP criterion needs: log-determinants of PSD
+submatrices (Eq. 5 in the paper), traces of matrix powers (used by the
+Newton-identity form of the k-DPP normalization, Eq. 6), softmax-family
+reductions for the SetRank baseline and classifier heads, and embedding
+gathers for all recommendation models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "exp",
+    "log",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "leaky_relu",
+    "clip",
+    "sqrt",
+    "matmul",
+    "concat",
+    "stack",
+    "gather_rows",
+    "trace",
+    "diag_embed",
+    "logdet_psd",
+    "slogdet",
+    "matrix_inverse",
+    "logsumexp",
+    "softmax",
+    "log_softmax",
+    "softplus",
+    "log_sigmoid",
+    "binary_cross_entropy_with_logits",
+    "dropout",
+    "power_sum_traces",
+]
+
+
+# ----------------------------------------------------------------------
+# Thin functional wrappers over Tensor methods
+# ----------------------------------------------------------------------
+def exp(x) -> Tensor:
+    return as_tensor(x).exp()
+
+
+def log(x) -> Tensor:
+    return as_tensor(x).log()
+
+
+def sigmoid(x) -> Tensor:
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x) -> Tensor:
+    return as_tensor(x).tanh()
+
+
+def relu(x) -> Tensor:
+    return as_tensor(x).relu()
+
+
+def leaky_relu(x, negative_slope: float = 0.2) -> Tensor:
+    return as_tensor(x).leaky_relu(negative_slope)
+
+
+def clip(x, low: float, high: float) -> Tensor:
+    return as_tensor(x).clip(low, high)
+
+
+def sqrt(x) -> Tensor:
+    return as_tensor(x).sqrt()
+
+
+def matmul(a, b) -> Tensor:
+    return as_tensor(a) @ as_tensor(b)
+
+
+# ----------------------------------------------------------------------
+# Structural ops
+# ----------------------------------------------------------------------
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with a slicing backward pass."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray):
+        grads = []
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(start, stop)
+            grads.append((tensor, g[tuple(index)]))
+        return grads
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack equal-shaped tensors along a new axis."""
+    tensors = [as_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray):
+        slices = np.moveaxis(g, axis, 0)
+        return [(tensor, slices[i]) for i, tensor in enumerate(tensors)]
+
+    return Tensor._make(data, tuple(tensors), backward)
+
+
+def gather_rows(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Select rows ``table[indices]`` (embedding lookup).
+
+    The backward pass scatter-adds into the table, so repeated indices
+    (the same item appearing in several training instances of a batch)
+    accumulate correctly.
+    """
+    table = as_tensor(table)
+    indices = np.asarray(indices, dtype=np.int64)
+    value = table.data[indices]
+    table_shape = table.data.shape
+
+    def backward(g: np.ndarray):
+        grad = np.zeros(table_shape, dtype=np.float64)
+        np.add.at(grad, indices, g)
+        return ((table, grad),)
+
+    return Tensor._make(value, (table,), backward)
+
+
+def diag_embed(vector: Tensor) -> Tensor:
+    """Build a diagonal matrix from a vector (``Diag(y_u)`` of Eq. 2)."""
+    vector = as_tensor(vector)
+    if vector.ndim != 1:
+        raise ValueError(f"diag_embed expects a vector, got shape {vector.shape}")
+    n = vector.shape[0]
+    data = np.zeros((n, n), dtype=np.float64)
+    np.fill_diagonal(data, vector.data)
+
+    def backward(g: np.ndarray):
+        return ((vector, np.diagonal(g).copy()),)
+
+    return Tensor._make(data, (vector,), backward)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+def trace(matrix: Tensor) -> Tensor:
+    """Trace of a square matrix; backward adds the gradient to the diagonal."""
+    matrix = as_tensor(matrix)
+    n = matrix.shape[-1]
+
+    def backward(g: np.ndarray):
+        return ((matrix, float(g) * np.eye(n)),)
+
+    return Tensor._make(np.trace(matrix.data), (matrix,), backward)
+
+
+def matrix_inverse(matrix: Tensor) -> Tensor:
+    """Matrix inverse with the standard adjoint ``-A^{-T} g A^{-T}``."""
+    matrix = as_tensor(matrix)
+    inv = np.linalg.inv(matrix.data)
+
+    def backward(g: np.ndarray):
+        return ((matrix, -inv.T @ g @ inv.T),)
+
+    return Tensor._make(inv, (matrix,), backward)
+
+
+def slogdet(matrix: Tensor) -> tuple[float, Tensor]:
+    """Sign and log|det|; gradient of the log-magnitude is ``A^{-T}``."""
+    matrix = as_tensor(matrix)
+    sign, logabs = np.linalg.slogdet(matrix.data)
+    inv_t = np.linalg.inv(matrix.data).T
+
+    def backward(g: np.ndarray):
+        return ((matrix, float(g) * inv_t),)
+
+    return float(sign), Tensor._make(np.asarray(logabs), (matrix,), backward)
+
+
+def logdet_psd(matrix: Tensor, jitter: float = 1e-10) -> Tensor:
+    """Log-determinant of a (near-)PSD matrix via Cholesky.
+
+    DPP submatrices ``L_S`` are PSD by construction but can be numerically
+    singular when two items are near-duplicates; ``jitter`` is added to the
+    diagonal before factorization.  Gradient: ``d logdet(A)/dA = A^{-1}``
+    (symmetric case).
+    """
+    matrix = as_tensor(matrix)
+    n = matrix.shape[-1]
+    stabilized = matrix.data + jitter * np.eye(n)
+    try:
+        chol = np.linalg.cholesky(stabilized)
+    except np.linalg.LinAlgError as err:  # pragma: no cover - defensive
+        raise np.linalg.LinAlgError(
+            "logdet_psd received a matrix that is not positive definite even "
+            f"after jitter={jitter}; smallest eigenvalue "
+            f"{np.linalg.eigvalsh(stabilized).min():.3e}"
+        ) from err
+    logdet = 2.0 * np.log(np.diagonal(chol)).sum()
+    inv = np.linalg.inv(stabilized)
+
+    def backward(g: np.ndarray):
+        return ((matrix, float(g) * inv),)
+
+    return Tensor._make(np.asarray(logdet), (matrix,), backward)
+
+
+def power_sum_traces(matrix: Tensor, order: int) -> list[Tensor]:
+    """Return ``[tr(L), tr(L^2), ..., tr(L^order)]`` differentiably.
+
+    These power sums feed Newton's identities, which convert them into the
+    elementary symmetric polynomials ``e_k`` of the eigenvalues of ``L`` —
+    exactly the k-DPP normalization constant of Eq. 6 — without needing a
+    differentiable eigendecomposition.
+    """
+    matrix = as_tensor(matrix)
+    traces: list[Tensor] = []
+    current = matrix
+    for _ in range(order):
+        traces.append(trace(current))
+        current = current @ matrix
+    return traces
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` built from primitive ops."""
+    x = as_tensor(x)
+    shift = np.max(x.data, axis=axis, keepdims=True)
+    shifted = x - Tensor(shift)
+    result = shifted.exp().sum(axis=axis, keepdims=True).log() + Tensor(shift)
+    if not keepdims:
+        result = result.reshape(np.squeeze(result.data, axis=axis).shape)
+    return result
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    return (x - logsumexp(x, axis=axis, keepdims=True)).exp()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    x = as_tensor(x)
+    return x - logsumexp(x, axis=axis, keepdims=True)
+
+
+def softplus(x: Tensor) -> Tensor:
+    """``log(1 + exp(x))`` computed stably as ``max(x, 0) + log1p(exp(-|x|))``."""
+    x = as_tensor(x)
+    return x.relu() + (-x.abs()).exp().__add__(1.0).log()
+
+
+def log_sigmoid(x: Tensor) -> Tensor:
+    """``log(sigmoid(x)) = -softplus(-x)``; the BPR building block."""
+    return -softplus(-as_tensor(x))
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean BCE between ``sigmoid(logits)`` and binary ``targets``.
+
+    Computed in the logit domain for stability:
+    ``BCE = softplus(logits) - targets * logits`` (elementwise), averaged.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(targets, dtype=np.float64)
+    per_example = softplus(logits) - logits * Tensor(targets)
+    return per_example.mean()
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or rate == 0."""
+    if not training or rate <= 0.0:
+        return as_tensor(x)
+    x = as_tensor(x)
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(np.float64) / keep
+    return x * Tensor(mask)

@@ -1,0 +1,65 @@
+"""Finite-difference gradient verification.
+
+Used by the test suite to validate every autodiff op and, more
+importantly, to check that the autodiff gradients of the LkP objective
+match the paper's analytic expressions (Eq. 12, 14, 15).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numeric_gradient", "check_gradient"]
+
+
+def numeric_gradient(
+    fn: Callable[[Tensor], Tensor],
+    value: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central finite-difference gradient of a scalar-valued ``fn``."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    flat_value = value.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for i in range(flat_value.size):
+        original = flat_value[i]
+        flat_value[i] = original + eps
+        upper = fn(Tensor(value)).item()
+        flat_value[i] = original - eps
+        lower = fn(Tensor(value)).item()
+        flat_value[i] = original
+        flat_grad[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(
+    fn: Callable[[Tensor], Tensor],
+    value: np.ndarray,
+    eps: float = 1e-6,
+    rtol: float = 1e-4,
+    atol: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compare autodiff and numeric gradients; raise on mismatch.
+
+    Returns the (analytic, numeric) pair so tests can report both.
+    """
+    value = np.asarray(value, dtype=np.float64)
+    x = Tensor(value.copy(), requires_grad=True)
+    out = fn(x)
+    if out.size != 1:
+        raise ValueError("check_gradient requires a scalar-valued function")
+    out.backward()
+    analytic = x.grad
+    numeric = numeric_gradient(fn, value, eps=eps)
+    if not np.allclose(analytic, numeric, rtol=rtol, atol=atol):
+        worst = np.abs(analytic - numeric).max()
+        raise AssertionError(
+            f"gradient mismatch: max abs diff {worst:.3e}\n"
+            f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+        )
+    return analytic, numeric

@@ -1,0 +1,248 @@
+"""Minimal neural-network layer library on top of the autodiff engine.
+
+Provides the layers the paper's backbones need: embeddings (MF, GCN,
+NeuMF, GCMC all start from user/item embedding tables), linear layers and
+MLP towers (NeuMF), and dropout.  The :class:`Module` container mirrors
+the ``torch.nn.Module`` contract just enough for the trainer and
+optimizers: recursive parameter discovery plus a train/eval mode flag.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Linear", "Embedding", "Sequential", "MLP", "Dropout"]
+
+
+class Parameter(Tensor):
+    """A tensor that is always trainable and discoverable by ``Module``."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class with recursive parameter discovery and mode switching."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- parameter bookkeeping -----------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every :class:`Parameter` reachable from this module."""
+        seen: set[int] = set()
+        yield from self._parameters(seen)
+
+    def _parameters(self, seen: set[int]) -> Iterator[Parameter]:
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    yield value
+            elif isinstance(value, Module):
+                yield from value._parameters(seen)
+            elif isinstance(value, (list, tuple)):
+                for entry in value:
+                    if isinstance(entry, Parameter):
+                        if id(entry) not in seen:
+                            seen.add(id(entry))
+                            yield entry
+                    elif isinstance(entry, Module):
+                        yield from entry._parameters(seen)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for key, value in self.__dict__.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, Parameter):
+                yield path, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(path)
+            elif isinstance(value, (list, tuple)):
+                for i, entry in enumerate(value):
+                    if isinstance(entry, Parameter):
+                        yield f"{path}.{i}", entry
+                    elif isinstance(entry, Module):
+                        yield from entry.named_parameters(f"{path}.{i}")
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- train / eval mode ---------------------------------------------
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for entry in value:
+                    if isinstance(entry, Module):
+                        entry._set_mode(training)
+
+    # -- call protocol ---------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # -- (de)serialization -------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every named parameter's value, for checkpointing."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state_dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            if parameter.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: model {parameter.data.shape} "
+                    f"vs checkpoint {state[name].shape}"
+                )
+            parameter.data = state[name].copy()
+
+
+class Linear(Module):
+    """Affine layer ``x @ W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((in_features, out_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table; rows are gathered with a scatter-add backward pass."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator,
+        std: float = 0.1,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            init.normal((num_embeddings, embedding_dim), rng, std=std), name="embedding"
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return F.gather_rows(self.weight, indices)
+
+    def all_rows(self) -> Tensor:
+        """The full table as a tensor (used when propagating GCN layers)."""
+        return self.weight
+
+
+class Sequential(Module):
+    """Apply modules (or plain callables such as activations) in order."""
+
+    def __init__(self, *layers) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout tied to the module's training flag."""
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.rate, self._rng, self.training)
+
+
+class MLP(Module):
+    """A stack of Linear + activation layers (the NeuMF tower).
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes including input and output, e.g. ``[128, 64, 32, 16]``.
+    activation:
+        Callable applied after every layer except the last.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        rng: np.random.Generator,
+        activation: Callable[[Tensor], Tensor] = F.relu,
+        dropout_rate: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if len(layer_sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        self.linears = [
+            Linear(fan_in, fan_out, rng)
+            for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:])
+        ]
+        self.activation = activation
+        self.dropout = Dropout(dropout_rate, rng) if dropout_rate > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.linears) - 1
+        for i, linear in enumerate(self.linears):
+            x = linear(x)
+            if i != last:
+                x = self.activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x

@@ -1,0 +1,69 @@
+"""Sparse-matrix support for graph models.
+
+GCN backbones propagate embeddings with a *constant* normalized adjacency
+matrix; only the dense embedding operand requires gradients.  This module
+provides that one asymmetric op — ``sparse @ dense`` with backward
+``adjacency.T @ grad`` — plus the symmetric normalization used by
+NGCF / LightGCN / GCMC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, as_tensor
+
+__all__ = ["sparse_matmul", "normalize_adjacency", "bipartite_adjacency"]
+
+
+def sparse_matmul(adjacency: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Multiply a constant scipy sparse matrix by a dense tensor.
+
+    Gradients flow only into ``dense``: the adjacency is graph structure,
+    not a parameter.
+    """
+    dense = as_tensor(dense)
+    adjacency = adjacency.tocsr()
+    value = adjacency @ dense.data
+    transposed = adjacency.T.tocsr()
+
+    def backward(g: np.ndarray):
+        return ((dense, transposed @ g),)
+
+    return Tensor._make(value, (dense,), backward)
+
+
+def bipartite_adjacency(
+    num_users: int,
+    num_items: int,
+    user_indices: np.ndarray,
+    item_indices: np.ndarray,
+) -> sp.csr_matrix:
+    """Build the (users + items) square bipartite interaction graph.
+
+    The node ordering is users first, then items — the convention used by
+    NGCF and LightGCN: ``A = [[0, R], [R^T, 0]]``.
+    """
+    n = num_users + num_items
+    rows = np.concatenate([user_indices, item_indices + num_users])
+    cols = np.concatenate([item_indices + num_users, user_indices])
+    data = np.ones(rows.shape[0], dtype=np.float64)
+    return sp.csr_matrix((data, (rows, cols)), shape=(n, n))
+
+
+def normalize_adjacency(adjacency: sp.spmatrix, add_self_loops: bool = False) -> sp.csr_matrix:
+    """Symmetric normalization ``D^{-1/2} (A [+ I]) D^{-1/2}``.
+
+    Isolated nodes (possible in tiny test graphs) get a zero row rather
+    than a division error.
+    """
+    adjacency = adjacency.tocsr()
+    if add_self_loops:
+        adjacency = adjacency + sp.eye(adjacency.shape[0], format="csr")
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+    inv_sqrt[~np.isfinite(inv_sqrt)] = 0.0
+    d_inv_sqrt = sp.diags(inv_sqrt)
+    return (d_inv_sqrt @ adjacency @ d_inv_sqrt).tocsr()

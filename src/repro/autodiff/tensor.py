@@ -1,0 +1,429 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the computational substrate of the reproduction: the paper
+trains its models with PyTorch, which is unavailable here, so we provide a
+small but complete reverse-mode engine.  A :class:`Tensor` wraps a numpy
+array and records the operations applied to it; calling
+:meth:`Tensor.backward` walks the recorded graph in reverse topological
+order and accumulates gradients into every tensor created with
+``requires_grad=True``.
+
+Design notes
+------------
+* Gradients are *accumulated* (``+=``) so a tensor used twice receives the
+  sum of both contributions, matching the chain rule for fan-out.
+* Broadcasting is handled by :func:`_unbroadcast`, which sums gradient
+  contributions over the broadcast axes before accumulation.
+* The graph is built eagerly; no tape object is needed.  Each tensor holds
+  a ``_backward`` closure plus references to its parents.
+* Only float64 is used.  The kernels in this project are tiny
+  ``(k + n) x (k + n)`` matrices, so the extra precision is cheap and it
+  keeps log-determinant gradients stable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction.
+
+    Inside a ``with no_grad():`` block every operation returns a plain
+    result tensor with no parents, mirroring ``torch.no_grad``.  Used by
+    evaluation code so that scoring the full catalog does not build an
+    enormous graph.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _GRAD_ENABLED
+        self._previous = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autodiff graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    When an operand was broadcast during the forward pass, its gradient
+    must be summed over the axes that were expanded.  This implements the
+    adjoint of numpy broadcasting.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad: bool = False) -> "Tensor":
+    """Coerce ``value`` (Tensor, ndarray or scalar) into a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+class Tensor:
+    """A numpy-backed tensor that participates in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 numpy array.
+    requires_grad:
+        If True, gradients are accumulated into ``self.grad`` by
+        :meth:`backward`.
+    parents:
+        The tensors this one was computed from (internal use).
+    backward_fn:
+        Closure propagating ``self.grad`` into the parents (internal use).
+    name:
+        Optional label used in debugging output.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward_fn: Callable[[], None] | None = None,
+        name: str | None = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: tuple[Tensor, ...] = tuple(parents)
+        self._backward_fn = backward_fn
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def item(self) -> float:
+        """Return the value of a size-1 tensor as a Python float."""
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" name={self.name!r}" if self.name else ""
+        grad = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad}{label})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward_fn: Callable[[np.ndarray], Iterable[tuple["Tensor", np.ndarray]]],
+    ) -> "Tensor":
+        """Create a result tensor for an op.
+
+        ``backward_fn`` maps the upstream gradient to ``(parent, grad)``
+        pairs; accumulation and broadcasting adjoints are handled here so
+        each op only has to state its local derivative.
+        """
+        if not _GRAD_ENABLED:
+            return Tensor(data)
+        requires = any(p.requires_grad for p in parents)
+        if not requires:
+            return Tensor(data)
+        out = Tensor(data, requires_grad=True, parents=parents)
+
+        def _backward() -> None:
+            upstream = out.grad
+            for parent, grad in backward_fn(upstream):
+                if not parent.requires_grad:
+                    continue
+                grad = _unbroadcast(np.asarray(grad, dtype=np.float64), parent.shape)
+                if parent.grad is None:
+                    parent.grad = grad.copy()
+                else:
+                    parent.grad += grad
+
+        out._backward_fn = _backward
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Upstream gradient.  Defaults to 1.0, which is only valid for
+            scalar outputs (the usual loss case).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        self.grad = np.asarray(grad, dtype=np.float64).reshape(self.shape)
+
+        order = self._topological_order()
+        for node in reversed(order):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn()
+
+    def _topological_order(self) -> list["Tensor"]:
+        """Return the graph below ``self`` in topological order."""
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        # Iterative DFS: the LkP graphs are deep (per-instance kernels in a
+        # batch), so recursion would risk hitting the interpreter limit.
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data + other.data,
+            (self, other),
+            lambda g: ((self, g), (other, g)),
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data - other.data,
+            (self, other),
+            lambda g: ((self, g), (other, -g)),
+        )
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other).__sub__(self)
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), lambda g: ((self, -g),))
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data * other.data,
+            (self, other),
+            lambda g: ((self, g * other.data), (other, g * self.data)),
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return Tensor._make(
+            self.data / other.data,
+            (self, other),
+            lambda g: (
+                (self, g / other.data),
+                (other, -g * self.data / (other.data**2)),
+            ),
+        )
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor ** only supports scalar exponents")
+        value = self.data**exponent
+        return Tensor._make(
+            value,
+            (self,),
+            lambda g: ((self, g * exponent * self.data ** (exponent - 1)),),
+        )
+
+    def __matmul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        a, b = self.data, other.data
+
+        def backward(g: np.ndarray):
+            if a.ndim == 1 and b.ndim == 1:  # inner product -> scalar
+                return ((self, g * b), (other, g * a))
+            if a.ndim == 1:  # (m,) @ (m, n) -> (n,)
+                return ((self, b @ g), (other, np.outer(a, g)))
+            if b.ndim == 1:  # (m, n) @ (n,) -> (m,)
+                return ((self, np.outer(g, b)), (other, a.T @ g))
+            return (
+                (self, g @ np.swapaxes(b, -1, -2)),
+                (other, np.swapaxes(a, -1, -2) @ g),
+            )
+
+        return Tensor._make(a @ b, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        return Tensor._make(
+            self.data.reshape(shape),
+            (self,),
+            lambda g: ((self, g.reshape(original)),),
+        )
+
+    def transpose(self, axes: tuple[int, ...] | None = None) -> "Tensor":
+        if axes is None:
+            inverse = None
+        else:
+            inverse = tuple(int(np.argsort(axes)[i]) for i in range(len(axes)))
+        return Tensor._make(
+            np.transpose(self.data, axes),
+            (self,),
+            lambda g: ((self, np.transpose(g, inverse)),),
+        )
+
+    def __getitem__(self, index) -> "Tensor":
+        """Basic and integer-array indexing with scatter-add backward."""
+        original_shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            grad = np.zeros(original_shape, dtype=np.float64)
+            np.add.at(grad, index, g)
+            return ((self, grad),)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions and elementwise functions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        original_shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            if axis is None:
+                grad = np.broadcast_to(g, original_shape)
+            else:
+                g_expanded = g if keepdims else np.expand_dims(g, axis)
+                grad = np.broadcast_to(g_expanded, original_shape)
+            return ((self, grad),)
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def exp(self) -> "Tensor":
+        value = np.exp(self.data)
+        return Tensor._make(value, (self,), lambda g: ((self, g * value),))
+
+    def log(self) -> "Tensor":
+        return Tensor._make(
+            np.log(self.data), (self,), lambda g: ((self, g / self.data),)
+        )
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic function.
+        value = np.where(
+            self.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
+            np.exp(np.clip(self.data, -500, 500))
+            / (1.0 + np.exp(np.clip(self.data, -500, 500))),
+        )
+        return Tensor._make(value, (self,), lambda g: ((self, g * value * (1 - value)),))
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+        return Tensor._make(value, (self,), lambda g: ((self, g * (1 - value**2)),))
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        return Tensor._make(self.data * mask, (self,), lambda g: ((self, g * mask),))
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        mask = np.where(self.data > 0, 1.0, negative_slope)
+        return Tensor._make(self.data * mask, (self,), lambda g: ((self, g * mask),))
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        """Clamp values; gradient is passed through inside the range."""
+        mask = (self.data >= low) & (self.data <= high)
+        return Tensor._make(
+            np.clip(self.data, low, high), (self,), lambda g: ((self, g * mask),)
+        )
+
+    def sqrt(self) -> "Tensor":
+        value = np.sqrt(self.data)
+        return Tensor._make(value, (self,), lambda g: ((self, g * 0.5 / value),))
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        return Tensor._make(np.abs(self.data), (self,), lambda g: ((self, g * sign),))

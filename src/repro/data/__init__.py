@@ -1,0 +1,53 @@
+"""``repro.data`` — datasets, splits and training-instance samplers.
+
+* :mod:`~repro.data.interactions` — the :class:`InteractionDataset`
+  container (implicit feedback + multi-label item categories), iterative
+  min-interaction filtering and the paper's per-user 70/10/20 split;
+* :mod:`~repro.data.synthetic` — offline stand-ins for Amazon-Beauty,
+  MovieLens-1M and Anime that preserve the sparsity / category-richness
+  axes the paper's analysis depends on;
+* :mod:`~repro.data.samplers` — LkP ground-set sampling (S and R modes)
+  and the baselines' instance samplers under the same budget;
+* :mod:`~repro.data.diverse_sets` — mining (T+, T-) pairs for the Eq. 3
+  diversity-kernel learner.
+"""
+
+from .diverse_sets import greedy_diverse_subset, mine_diversity_pairs, monotonous_subset
+from .interactions import DatasetSplit, DatasetStats, InteractionDataset
+from .samplers import (
+    GroundSetInstance,
+    GroundSetSampler,
+    OneVsSetSampler,
+    PairSampler,
+    PointwiseSampler,
+    SetPairSampler,
+)
+from .synthetic import (
+    DATASET_FACTORIES,
+    SyntheticConfig,
+    anime_like,
+    beauty_like,
+    generate_dataset,
+    movielens_like,
+)
+
+__all__ = [
+    "InteractionDataset",
+    "DatasetSplit",
+    "DatasetStats",
+    "SyntheticConfig",
+    "generate_dataset",
+    "beauty_like",
+    "movielens_like",
+    "anime_like",
+    "DATASET_FACTORIES",
+    "GroundSetInstance",
+    "GroundSetSampler",
+    "PairSampler",
+    "PointwiseSampler",
+    "OneVsSetSampler",
+    "SetPairSampler",
+    "greedy_diverse_subset",
+    "monotonous_subset",
+    "mine_diversity_pairs",
+]

@@ -1,0 +1,224 @@
+"""Training-instance samplers for every optimization criterion.
+
+The paper compares criteria under an *equal training-signal budget*: "we
+ensure that the number of set-level training instances used in our
+experiments is not greater than the pointwise method or BPR optimization".
+The samplers here enforce that discipline:
+
+* :class:`GroundSetSampler` builds the LkP instances — a user plus a
+  ``k + n`` ground set (k targets, n unobserved items) — in either of the
+  paper's two construction modes:
+
+  - **S** (sequential): non-overlapping sliding windows of size k over the
+    user's time-ordered training items, so targets share the temporal /
+    categorical correlations the generator instilled;
+  - **R** (random): windows over a fresh random permutation each epoch.
+
+  Both modes cover every training item at least once per epoch (the last
+  window is right-aligned when the history is not a multiple of k),
+  giving ``ceil(|Y+_u| / k)`` instances per user — never more than the
+  per-interaction budget of BPR/BCE.
+
+* :class:`PairSampler` (BPR), :class:`PointwiseSampler` (BCE),
+  :class:`OneVsSetSampler` (SetRank) and :class:`SetPairSampler`
+  (Set2SetRank) produce the baselines' instances from the same split and
+  negative-sampling rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .interactions import DatasetSplit
+
+__all__ = [
+    "GroundSetInstance",
+    "GroundSetSampler",
+    "PairSampler",
+    "PointwiseSampler",
+    "OneVsSetSampler",
+    "SetPairSampler",
+]
+
+
+@dataclass(frozen=True)
+class GroundSetInstance:
+    """One LkP training instance: ``k`` targets + ``n`` negatives.
+
+    ``targets`` and ``negatives`` are item ids; their concatenation (in
+    that order) forms the k+n ground set of Eq. 4, so positions
+    ``[0, k)`` of the ground-set kernel always index the target subset
+    and ``[k, k+n)`` the negatives.
+    """
+
+    user: int
+    targets: np.ndarray
+    negatives: np.ndarray
+
+    @property
+    def ground_set(self) -> np.ndarray:
+        return np.concatenate([self.targets, self.negatives])
+
+    @property
+    def k(self) -> int:
+        return int(self.targets.shape[0])
+
+    @property
+    def n(self) -> int:
+        return int(self.negatives.shape[0])
+
+
+def _windows(ordered_items: np.ndarray, k: int) -> list[np.ndarray]:
+    """Non-overlapping size-k windows covering every element.
+
+    The final window is right-aligned (may overlap its predecessor) so
+    that each item appears in at least one window — the paper's coverage
+    guarantee — while the instance count stays at ``ceil(len / k)``.
+    """
+    count = ordered_items.shape[0]
+    if count < k:
+        return []
+    windows = [
+        ordered_items[start : start + k] for start in range(0, count - k + 1, k)
+    ]
+    if count % k:
+        windows.append(ordered_items[count - k :])
+    return windows
+
+
+class GroundSetSampler:
+    """Builds the paper's k-DPP ground-set instances (S or R mode)."""
+
+    def __init__(
+        self,
+        split: DatasetSplit,
+        k: int = 5,
+        n: int = 5,
+        mode: str = "S",
+    ) -> None:
+        if mode not in ("S", "R"):
+            raise ValueError(f"mode must be 'S' or 'R', got {mode!r}")
+        if k < 2:
+            # The paper trains only with k > 1: a single-item "set" has no
+            # internal correlation for the k-DPP to exploit.
+            raise ValueError(f"k must be >= 2, got {k}")
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.split = split
+        self.k = k
+        self.n = n
+        self.mode = mode
+        self._eligible = split.users_with_min_train(k)
+        if self._eligible.shape[0] == 0:
+            raise ValueError(
+                f"no user has >= k={k} training items; dataset too small"
+            )
+
+    @property
+    def eligible_users(self) -> np.ndarray:
+        return self._eligible
+
+    def instances(self, rng: np.random.Generator) -> list[GroundSetInstance]:
+        """One epoch of training instances, freshly sampled negatives."""
+        out: list[GroundSetInstance] = []
+        for user in self._eligible:
+            items = self.split.train[user]
+            if self.mode == "R":
+                items = items[rng.permutation(items.shape[0])]
+            for window in _windows(items, self.k):
+                negatives = self.split.sample_negatives(int(user), self.n, rng)
+                out.append(
+                    GroundSetInstance(
+                        user=int(user),
+                        targets=window.copy(),
+                        negatives=negatives,
+                    )
+                )
+        return out
+
+
+class PairSampler:
+    """BPR instances: one (user, positive, negative) triple per interaction."""
+
+    def __init__(self, split: DatasetSplit) -> None:
+        self.split = split
+        self._pairs = split.train_pairs()
+        if self._pairs.shape[0] == 0:
+            raise ValueError("split has no training interactions")
+
+    def instances(self, rng: np.random.Generator) -> list[tuple[int, int, int]]:
+        out = []
+        for user, positive in self._pairs:
+            negative = self.split.sample_negatives(int(user), 1, rng)[0]
+            out.append((int(user), int(positive), int(negative)))
+        return out
+
+
+class PointwiseSampler:
+    """BCE instances: every positive plus ``negative_ratio`` sampled zeros."""
+
+    def __init__(self, split: DatasetSplit, negative_ratio: int = 1) -> None:
+        if negative_ratio < 1:
+            raise ValueError(f"negative_ratio must be >= 1, got {negative_ratio}")
+        self.split = split
+        self.negative_ratio = negative_ratio
+        self._pairs = split.train_pairs()
+
+    def instances(self, rng: np.random.Generator) -> list[tuple[int, int, float]]:
+        out: list[tuple[int, int, float]] = []
+        for user, positive in self._pairs:
+            out.append((int(user), int(positive), 1.0))
+            for negative in self.split.sample_negatives(
+                int(user), self.negative_ratio, rng
+            ):
+                out.append((int(user), int(negative), 0.0))
+        return out
+
+
+class OneVsSetSampler:
+    """SetRank instances: one positive vs a set of sampled negatives."""
+
+    def __init__(self, split: DatasetSplit, num_negatives: int = 5) -> None:
+        if num_negatives < 1:
+            raise ValueError(f"num_negatives must be >= 1, got {num_negatives}")
+        self.split = split
+        self.num_negatives = num_negatives
+        self._pairs = split.train_pairs()
+
+    def instances(self, rng: np.random.Generator) -> list[tuple[int, int, np.ndarray]]:
+        out = []
+        for user, positive in self._pairs:
+            negatives = self.split.sample_negatives(int(user), self.num_negatives, rng)
+            out.append((int(user), int(positive), negatives))
+        return out
+
+
+class SetPairSampler:
+    """Set2SetRank instances: a positive set vs a sampled negative set.
+
+    Instance budget matches :class:`GroundSetSampler`: ``ceil(|Y+_u| / k)``
+    windows per user, shuffled per epoch (Set2SetRank samples positive
+    sets randomly rather than sequentially).
+    """
+
+    def __init__(self, split: DatasetSplit, k: int = 5, n: int = 5) -> None:
+        if k < 1 or n < 1:
+            raise ValueError("set sizes must be positive")
+        self.split = split
+        self.k = k
+        self.n = n
+        self._eligible = split.users_with_min_train(k)
+        if self._eligible.shape[0] == 0:
+            raise ValueError(f"no user has >= k={k} training items")
+
+    def instances(self, rng: np.random.Generator) -> list[tuple[int, np.ndarray, np.ndarray]]:
+        out = []
+        for user in self._eligible:
+            items = self.split.train[user]
+            shuffled = items[rng.permutation(items.shape[0])]
+            for window in _windows(shuffled, self.k):
+                negatives = self.split.sample_negatives(int(user), self.n, rng)
+                out.append((int(user), window.copy(), negatives))
+        return out

@@ -1,0 +1,73 @@
+"""``repro.dpp`` — Determinantal Point Process machinery.
+
+Implements everything the LkP criterion stands on:
+
+* :mod:`~repro.dpp.esp` — elementary symmetric polynomials: the paper's
+  Algorithm 1, a brute-force reference, and a differentiable
+  Newton-identities form used during training;
+* :mod:`~repro.dpp.kdpp` — exact k-DPP and standard-DPP distributions
+  (probabilities, enumeration, Kulesza–Taskar sampling) plus the
+  differentiable ``log P_k(S)`` of Eq. 4;
+* :mod:`~repro.dpp.kernels` — the quality × diversity kernel assembly of
+  Eq. 2 / Eq. 13 and the Gaussian-similarity E-variant kernel;
+* :mod:`~repro.dpp.diversity_kernel` — the Eq. 3 learner for the
+  pre-trained low-rank diversity kernel ``K = V^T V``;
+* :mod:`~repro.dpp.map_inference` — fast greedy MAP (Chen et al. 2018)
+  for diversified list generation.
+"""
+
+from .diversity_kernel import (
+    DiversityKernelConfig,
+    DiversityKernelLearner,
+    category_jaccard_kernel,
+)
+from .esp import (
+    differentiable_esps,
+    differentiable_log_esp,
+    differentiable_log_esp_newton,
+    elementary_symmetric_polynomials,
+    esp_bruteforce,
+    esp_from_power_sums,
+    esp_leave_one_out,
+    esp_table,
+)
+from .kdpp import KDPP, StandardDPP, log_kdpp_probability, validate_psd_kernel
+from .kernels import (
+    QUALITY_TRANSFORMS,
+    exp_quality,
+    gaussian_similarity_kernel,
+    gaussian_similarity_kernel_np,
+    identity_quality,
+    quality_diversity_kernel,
+    quality_diversity_kernel_np,
+    sigmoid_quality,
+)
+from .map_inference import greedy_map, greedy_map_reference
+
+__all__ = [
+    "KDPP",
+    "StandardDPP",
+    "log_kdpp_probability",
+    "validate_psd_kernel",
+    "elementary_symmetric_polynomials",
+    "esp_table",
+    "esp_bruteforce",
+    "esp_from_power_sums",
+    "differentiable_esps",
+    "differentiable_log_esp",
+    "differentiable_log_esp_newton",
+    "esp_leave_one_out",
+    "quality_diversity_kernel",
+    "quality_diversity_kernel_np",
+    "gaussian_similarity_kernel",
+    "gaussian_similarity_kernel_np",
+    "exp_quality",
+    "sigmoid_quality",
+    "identity_quality",
+    "QUALITY_TRANSFORMS",
+    "DiversityKernelConfig",
+    "DiversityKernelLearner",
+    "category_jaccard_kernel",
+    "greedy_map",
+    "greedy_map_reference",
+]

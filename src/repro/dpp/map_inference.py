@@ -1,0 +1,98 @@
+"""Fast greedy MAP inference for DPPs (Chen, Zhang & Zhou, NeurIPS 2018).
+
+The related-work systems the paper cites diversify recommendations by
+greedily maximizing ``log det(L_S)``; this module implements the
+O(M k^2) incremental-Cholesky version of that greedy algorithm.  In this
+reproduction it powers the example applications (generating a diversified
+top-k list from a trained model's kernel) and serves as a baseline
+post-processing re-ranker to contrast with LkP's in-training approach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["greedy_map", "greedy_map_reference"]
+
+
+def greedy_map(
+    kernel: np.ndarray,
+    k: int,
+    candidates: np.ndarray | None = None,
+    epsilon: float = 1e-10,
+) -> list[int]:
+    """Greedily select ``k`` items maximizing ``log det(L_S)``.
+
+    Implements the fast greedy algorithm: maintain, for every remaining
+    item, the squared Cholesky residual ``d_i^2`` (its marginal determinant
+    gain) and the partial Cholesky row ``c_i``, updating both in O(1) per
+    item per round.
+
+    Parameters
+    ----------
+    kernel:
+        PSD L-ensemble kernel over the full candidate ground set.
+    k:
+        Number of items to select (the paper's fixed result-list size).
+    candidates:
+        Optional subset of indices to restrict the selection to.
+    epsilon:
+        Stop early if the best remaining marginal gain falls below this,
+        which mirrors the reference implementation's stopping rule.
+    """
+    kernel = np.asarray(kernel, dtype=np.float64)
+    m = kernel.shape[0]
+    if candidates is None:
+        candidates = np.arange(m)
+    else:
+        candidates = np.asarray(candidates, dtype=np.int64)
+    if not 1 <= k <= candidates.shape[0]:
+        raise ValueError(
+            f"k must be in [1, {candidates.shape[0]}], got {k}"
+        )
+
+    num_candidates = candidates.shape[0]
+    # cis[j, i]: j-th Cholesky coefficient of candidate i (row-incremental).
+    cis = np.zeros((k, num_candidates), dtype=np.float64)
+    di2 = kernel[candidates, candidates].copy()
+
+    selected_local = int(np.argmax(di2))
+    selected = [selected_local]
+    for round_index in range(1, k):
+        last = selected_local
+        ci_last = cis[:round_index, last]
+        di_last = np.sqrt(max(di2[last], epsilon))
+        row = kernel[candidates[last], candidates]
+        eis = (row - ci_last @ cis[:round_index, :]) / di_last
+        cis[round_index, :] = eis
+        di2 = di2 - eis**2
+        di2[selected] = -np.inf  # never re-pick
+        selected_local = int(np.argmax(di2))
+        if di2[selected_local] < epsilon:
+            break
+        selected.append(selected_local)
+    return [int(candidates[i]) for i in selected]
+
+
+def greedy_map_reference(kernel: np.ndarray, k: int) -> list[int]:
+    """O(M k^4) textbook greedy via explicit determinants.
+
+    Used only by tests to validate :func:`greedy_map`; recomputes
+    ``det(L_{S + {i}})`` from scratch for every candidate each round.
+    """
+    kernel = np.asarray(kernel, dtype=np.float64)
+    m = kernel.shape[0]
+    selected: list[int] = []
+    for _ in range(k):
+        best_item, best_det = -1, -np.inf
+        for i in range(m):
+            if i in selected:
+                continue
+            trial = selected + [i]
+            det = np.linalg.det(kernel[np.ix_(trial, trial)])
+            if det > best_det:
+                best_det, best_item = det, i
+        if best_item < 0 or best_det <= 0:
+            break
+        selected.append(best_item)
+    return selected

@@ -1,0 +1,43 @@
+"""``repro.eval`` — metrics, ranking evaluation, probability diagnostics.
+
+* :mod:`~repro.eval.metrics` — Recall / NDCG / Category Coverage / F
+  (composition reverse-engineered from Table II and pinned by tests);
+* :mod:`~repro.eval.evaluate` — the top-N protocol over a split;
+* :mod:`~repro.eval.probability_analysis` — Figure 4's target-count
+  probability groups and the diversified-vs-monotonous comparison.
+"""
+
+from .evaluate import METRIC_FAMILIES, EvalResult, evaluate_model, evaluate_scores
+from .metrics import (
+    category_coverage,
+    f_score,
+    intra_list_distance,
+    ndcg_at_n,
+    precision_at_n,
+    recall_at_n,
+)
+from .probability_analysis import (
+    DiversityProbabilityReport,
+    TargetGroupReport,
+    diverse_vs_monotonous,
+    ground_set_kernel_np,
+    target_count_probabilities,
+)
+
+__all__ = [
+    "EvalResult",
+    "evaluate_scores",
+    "evaluate_model",
+    "METRIC_FAMILIES",
+    "recall_at_n",
+    "precision_at_n",
+    "ndcg_at_n",
+    "category_coverage",
+    "f_score",
+    "intra_list_distance",
+    "ground_set_kernel_np",
+    "target_count_probabilities",
+    "TargetGroupReport",
+    "diverse_vs_monotonous",
+    "DiversityProbabilityReport",
+]

@@ -1,0 +1,108 @@
+"""Top-N ranking evaluation over a dataset split.
+
+Standard protocol: for every user with held-out items, rank the catalog
+excluding the user's training (and validation, when evaluating on test)
+interactions, take the top N, and average Recall / NDCG / CC / F across
+users for each N in the cutoff list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.interactions import DatasetSplit
+from ..models.base import Recommender
+from ..utils.topk import top_k_indices
+from .metrics import category_coverage, f_score, ndcg_at_n, recall_at_n
+
+__all__ = ["EvalResult", "evaluate_scores", "evaluate_model", "METRIC_FAMILIES"]
+
+METRIC_FAMILIES = ("Re", "Nd", "CC", "F")
+
+
+@dataclass
+class EvalResult:
+    """Averaged metrics keyed like ``"Re@5"``, ``"CC@20"``..."""
+
+    metrics: dict[str, float] = field(default_factory=dict)
+    num_users_evaluated: int = 0
+
+    def __getitem__(self, key: str) -> float:
+        return self.metrics[key]
+
+    def row(self, cutoffs: tuple[int, ...] = (5, 10, 20)) -> str:
+        """Fixed-order table row matching the paper's column layout."""
+        parts = []
+        for family in METRIC_FAMILIES:
+            for n in cutoffs:
+                parts.append(f"{self.metrics[f'{family}@{n}']:.4f}")
+        return " ".join(parts)
+
+
+def evaluate_scores(
+    scores: np.ndarray,
+    split: DatasetSplit,
+    cutoffs: tuple[int, ...] = (5, 10, 20),
+    target: str = "test",
+) -> EvalResult:
+    """Evaluate a dense score matrix against held-out interactions.
+
+    Parameters
+    ----------
+    scores:
+        ``num_users x num_items`` relevance scores.
+    target:
+        ``"test"`` — rank against test items, excluding train ∪ val;
+        ``"val"`` — rank against validation items, excluding train only
+        (used for model selection during training).
+    """
+    if target not in ("test", "val"):
+        raise ValueError(f"target must be 'test' or 'val', got {target!r}")
+    dataset = split.dataset
+    if scores.shape != (dataset.num_users, dataset.num_items):
+        raise ValueError(
+            f"scores shape {scores.shape} does not match "
+            f"({dataset.num_users}, {dataset.num_items})"
+        )
+    held_out = split.test if target == "test" else split.val
+    max_cutoff = max(cutoffs)
+
+    sums = {f"{family}@{n}": 0.0 for family in METRIC_FAMILIES for n in cutoffs}
+    evaluated = 0
+    for user in range(dataset.num_users):
+        relevant = set(map(int, held_out[user]))
+        if not relevant:
+            continue
+        if target == "test":
+            exclude = np.fromiter(split.known_set(user), dtype=np.int64)
+        else:
+            exclude = np.fromiter(split.train_set(user), dtype=np.int64)
+        top = top_k_indices(scores[user], max_cutoff, exclude=exclude)
+        evaluated += 1
+        for n in cutoffs:
+            head = top[:n]
+            recall = recall_at_n(head, relevant)
+            ndcg = ndcg_at_n(head, relevant)
+            coverage = category_coverage(
+                head, dataset.item_categories, dataset.num_categories
+            )
+            sums[f"Re@{n}"] += recall
+            sums[f"Nd@{n}"] += ndcg
+            sums[f"CC@{n}"] += coverage
+            sums[f"F@{n}"] += f_score(recall, ndcg, coverage)
+    if evaluated == 0:
+        raise ValueError(f"no user has held-out items in the {target} target")
+    metrics = {key: value / evaluated for key, value in sums.items()}
+    return EvalResult(metrics=metrics, num_users_evaluated=evaluated)
+
+
+def evaluate_model(
+    model: Recommender,
+    split: DatasetSplit,
+    cutoffs: tuple[int, ...] = (5, 10, 20),
+    target: str = "test",
+) -> EvalResult:
+    """Score the full catalog with the model and evaluate."""
+    return evaluate_scores(model.full_scores(), split, cutoffs=cutoffs, target=target)

@@ -1,0 +1,174 @@
+"""k-DPP probability diagnostics (Figure 4 and the §IV-B2 analyses).
+
+The paper visualizes the *ranking interpretation* of LkP by grouping all
+``C(k+n, k)`` subsets of sampled training ground sets by how many targets
+they contain, then plotting the group-averaged k-DPP probabilities over
+training epochs: before training every group sits near the uniform
+``1 / C(k+n, k)``; as training proceeds, target-rich groups rise and
+target-poor groups sink.
+
+It also compares the average probability of *diversified* target subsets
+(many categories) against *monotonous* ones (few categories), showing the
+pre-learned kernel K hands diverse targets a head start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+from ..autodiff import no_grad
+from ..data.interactions import DatasetSplit
+from ..data.samplers import GroundSetInstance
+from ..dpp.kdpp import KDPP
+from ..dpp.kernels import quality_diversity_kernel_np
+from ..models.base import Recommender
+
+__all__ = [
+    "ground_set_kernel_np",
+    "target_count_probabilities",
+    "TargetGroupReport",
+    "diverse_vs_monotonous",
+    "DiversityProbabilityReport",
+]
+
+
+def ground_set_kernel_np(
+    model: Recommender,
+    diversity_kernel: np.ndarray,
+    instance: GroundSetInstance,
+    jitter: float = 1e-6,
+    score_clip: float = 12.0,
+) -> np.ndarray:
+    """Numpy twin of :meth:`LkPCriterion.instance_kernel` (no gradients)."""
+    ground = instance.ground_set
+    with no_grad():
+        scores = model.score_items(instance.user, ground).data
+    transform = getattr(model, "quality_transform", "exp")
+    if transform == "exp":
+        quality = np.exp(np.clip(scores, -score_clip, score_clip))
+    elif transform == "sigmoid":
+        quality = 1.0 / (1.0 + np.exp(-np.clip(scores, -50, 50))) + 1e-4
+    else:
+        quality = np.clip(scores, 1e-4, None)
+    sub = diversity_kernel[np.ix_(ground, ground)]
+    return quality_diversity_kernel_np(quality, sub) + jitter * np.eye(ground.shape[0])
+
+
+@dataclass
+class TargetGroupReport:
+    """Average k-DPP probability per number-of-targets group (Fig. 4)."""
+
+    k: int
+    n: int
+    #: ``mean_probability[z]`` averages subsets containing exactly z targets
+    mean_probability: np.ndarray
+    #: the uniform reference line 1 / C(k+n, k)
+    uniform: float
+    num_instances: int
+
+    def as_rows(self) -> list[str]:
+        lines = [f"uniform = {self.uniform:.6f} (1/C({self.k + self.n},{self.k}))"]
+        for z, value in enumerate(self.mean_probability):
+            marker = " <- target subset" if z == self.k else ""
+            lines.append(f"targets={z}: mean P = {value:.6f}{marker}")
+        return lines
+
+
+def target_count_probabilities(
+    model: Recommender,
+    diversity_kernel: np.ndarray,
+    instances: list[GroundSetInstance],
+    jitter: float = 1e-6,
+) -> TargetGroupReport:
+    """Group-averaged k-DPP probabilities over training instances.
+
+    For each instance the full k-subset probability table is enumerated
+    (252 subsets for the paper's 5+5 setting) and every subset is binned
+    by its target count ``z`` (positions ``< k`` of the ground set are
+    targets by construction).
+    """
+    if not instances:
+        raise ValueError("need at least one ground-set instance")
+    k = instances[0].k
+    n = instances[0].n
+    sums = np.zeros(k + 1)
+    counts = np.zeros(k + 1)
+    for instance in instances:
+        if instance.k != k or instance.n != n:
+            raise ValueError("all instances must share the same (k, n)")
+        kernel = ground_set_kernel_np(model, diversity_kernel, instance, jitter=jitter)
+        distribution = KDPP(kernel, k, validate=False)
+        for subset, probability in distribution.enumerate_probabilities().items():
+            z = sum(1 for position in subset if position < k)
+            sums[z] += probability
+            counts[z] += 1
+    return TargetGroupReport(
+        k=k,
+        n=n,
+        mean_probability=sums / counts,
+        uniform=1.0 / comb(k + n, k),
+        num_instances=len(instances),
+    )
+
+
+@dataclass
+class DiversityProbabilityReport:
+    """Diversified vs monotonous target subsets (§IV-B2's 0.0041 vs 0.0040)."""
+
+    diverse_mean: float
+    monotonous_mean: float
+    diverse_count: int
+    monotonous_count: int
+    diverse_threshold: int
+    monotonous_threshold: int
+
+
+def diverse_vs_monotonous(
+    model: Recommender,
+    diversity_kernel: np.ndarray,
+    instances: list[GroundSetInstance],
+    split: DatasetSplit,
+    diverse_threshold: int | None = None,
+    monotonous_threshold: int | None = None,
+    jitter: float = 1e-6,
+) -> DiversityProbabilityReport:
+    """Average target-subset probability split by target category breadth.
+
+    Instances whose k targets span ``>= diverse_threshold`` categories go
+    to the diversified pool, ``< monotonous_threshold`` to the monotonous
+    pool; the rest are ignored.  The paper uses > 5 vs < 4 with k = 5 on
+    single-digit-breadth data; with multi-label items the absolute
+    breadths shift, so by default the thresholds adapt to the observed
+    breadth distribution (upper tercile vs lower tercile), which keeps
+    both pools populated on any dataset.
+    """
+    if not instances:
+        raise ValueError("need at least one ground-set instance")
+    dataset = split.dataset
+    breadths = [len(dataset.categories_of(inst.targets)) for inst in instances]
+    if diverse_threshold is None:
+        diverse_threshold = int(np.ceil(np.percentile(breadths, 67)))
+    if monotonous_threshold is None:
+        monotonous_threshold = int(np.floor(np.percentile(breadths, 33))) + 1
+    diverse: list[float] = []
+    monotonous: list[float] = []
+    for instance, breadth in zip(instances, breadths):
+        k = instance.k
+        kernel = ground_set_kernel_np(model, diversity_kernel, instance, jitter=jitter)
+        distribution = KDPP(kernel, k, validate=False)
+        probability = distribution.subset_probability(list(range(k)))
+        if breadth >= diverse_threshold:
+            diverse.append(probability)
+        elif breadth < monotonous_threshold:
+            monotonous.append(probability)
+    return DiversityProbabilityReport(
+        diverse_mean=float(np.mean(diverse)) if diverse else float("nan"),
+        monotonous_mean=float(np.mean(monotonous)) if monotonous else float("nan"),
+        diverse_count=len(diverse),
+        monotonous_count=len(monotonous),
+        diverse_threshold=diverse_threshold,
+        monotonous_threshold=monotonous_threshold,
+    )

@@ -1,0 +1,81 @@
+"""``repro.experiments`` — regenerating the paper's tables and figures.
+
+* :mod:`~repro.experiments.common` — scales, dataset preparation, model /
+  criterion factories, the per-cell runner;
+* :mod:`~repro.experiments.tables` — Tables I-IV;
+* :mod:`~repro.experiments.figures` — Figures 2-4 and the §IV-B2
+  ablations (standard-DPP normalization, diverse-vs-monotonous targets);
+* :mod:`~repro.experiments.case_study` — Figure 5's user walk-through;
+* ``python -m repro.experiments.run_all`` — CLI regenerating everything.
+"""
+
+from .case_study import CaseStudyReport, run_case_study
+from .common import (
+    BASELINE_CODES,
+    FULL,
+    QUICK,
+    SCALES,
+    SMALL,
+    CellResult,
+    ExperimentScale,
+    PreparedData,
+    build_criterion,
+    build_model,
+    prepare_dataset,
+    run_cell,
+)
+from .figures import (
+    Fig4Report,
+    SweepPoint,
+    SweepReport,
+    ablation_diverse_vs_monotonous,
+    ablation_standard_dpp,
+    fig2_k_sweep,
+    fig3_n_sweep,
+    fig4_probability_evolution,
+)
+from .reporting import render_improvements, render_rework_table, render_table
+from .tables import (
+    TABLE2_METHODS,
+    TABLE3_METHODS,
+    TableReport,
+    table1_dataset_statistics,
+    table2_gcn_comparison,
+    table3_mf_comparison,
+    table4_reworked_models,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "QUICK",
+    "SMALL",
+    "FULL",
+    "SCALES",
+    "PreparedData",
+    "prepare_dataset",
+    "build_model",
+    "build_criterion",
+    "run_cell",
+    "CellResult",
+    "BASELINE_CODES",
+    "TableReport",
+    "table1_dataset_statistics",
+    "table2_gcn_comparison",
+    "table3_mf_comparison",
+    "table4_reworked_models",
+    "TABLE2_METHODS",
+    "TABLE3_METHODS",
+    "SweepPoint",
+    "SweepReport",
+    "Fig4Report",
+    "fig2_k_sweep",
+    "fig3_n_sweep",
+    "fig4_probability_evolution",
+    "ablation_standard_dpp",
+    "ablation_diverse_vs_monotonous",
+    "CaseStudyReport",
+    "run_case_study",
+    "render_table",
+    "render_improvements",
+    "render_rework_table",
+]

@@ -1,0 +1,260 @@
+"""Runners for the paper's Figures 2-4 and the §IV-B2 ablations.
+
+Figures are regenerated as *data series* (printed as aligned text): this
+library deliberately produces the numbers behind each plot rather than
+image files, so the benchmark harness can assert on them and EXPERIMENTS.md
+can quote them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.samplers import GroundSetSampler
+from ..eval.probability_analysis import (
+    DiversityProbabilityReport,
+    TargetGroupReport,
+    diverse_vs_monotonous,
+    target_count_probabilities,
+)
+from .common import (
+    SCALES,
+    CellResult,
+    ExperimentScale,
+    build_criterion,
+    prepare_dataset,
+    run_cell,
+)
+
+__all__ = [
+    "SweepPoint",
+    "SweepReport",
+    "fig2_k_sweep",
+    "fig3_n_sweep",
+    "Fig4Report",
+    "fig4_probability_evolution",
+    "ablation_standard_dpp",
+    "ablation_diverse_vs_monotonous",
+]
+
+
+@dataclass
+class SweepPoint:
+    """One parameter setting's outcome in a sweep."""
+
+    parameter: int
+    metrics: dict[str, float]
+    epochs_to_best: int
+
+
+@dataclass
+class SweepReport:
+    """A full parameter sweep (Figure 2 or 3)."""
+
+    name: str
+    variant: str
+    points: list[SweepPoint] = field(default_factory=list)
+    text: str = ""
+
+    def series(self, metric: str) -> list[float]:
+        return [point.metrics[metric] for point in self.points]
+
+
+def _resolve_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    return SCALES[scale]
+
+
+def fig2_k_sweep(
+    variant: str = "PS",
+    scale: str | ExperimentScale = "quick",
+    dataset: str = "beauty-like",
+    ks: tuple[int, ...] = (2, 3, 4, 5, 6),
+    model_kind: str = "gcn",
+) -> SweepReport:
+    """Figure 2: performance and epochs-to-best across target-set sizes k.
+
+    The paper sweeps k in {2..6} with n = k on Beauty, reporting NDCG@5,
+    CC@5, F@5 and the epochs needed to reach the best validation score.
+    """
+    resolved = _resolve_scale(scale)
+    prepared = prepare_dataset(dataset, resolved)
+    report = SweepReport(name="fig2", variant=variant)
+    lines = [f"Figure 2 ({variant}, {dataset}, {model_kind}, scale={resolved.name})"]
+    lines.append(f"{'k':>3} {'Nd@5':>8} {'CC@5':>8} {'F@5':>8} {'epochs':>7}")
+    for k in ks:
+        cell = run_cell(model_kind, variant, prepared, k=k, n=k)
+        point = SweepPoint(
+            parameter=k,
+            metrics=cell.metrics,
+            epochs_to_best=cell.train_result.epochs_to_best,
+        )
+        report.points.append(point)
+        lines.append(
+            f"{k:>3} {point.metrics['Nd@5']:>8.4f} {point.metrics['CC@5']:>8.4f} "
+            f"{point.metrics['F@5']:>8.4f} {point.epochs_to_best:>7}"
+        )
+    report.text = "\n".join(lines)
+    return report
+
+
+def fig3_n_sweep(
+    scale: str | ExperimentScale = "quick",
+    dataset: str = "beauty-like",
+    ns: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+    k: int = 5,
+    model_kind: str = "gcn",
+) -> SweepReport:
+    """Figure 3: LkP-PS performance across negative-sample counts n.
+
+    Top-5 and Top-20 metrics at fixed k = 5 (the PS objective does not
+    require n == k, so the full range is valid).
+    """
+    resolved = _resolve_scale(scale)
+    prepared = prepare_dataset(dataset, resolved)
+    report = SweepReport(name="fig3", variant="PS")
+    lines = [f"Figure 3 (PS, {dataset}, {model_kind}, k={k}, scale={resolved.name})"]
+    lines.append(
+        f"{'n':>3} {'Nd@5':>8} {'CC@5':>8} {'F@5':>8} {'Nd@20':>8} {'CC@20':>8} {'F@20':>8}"
+    )
+    for n in ns:
+        cell = run_cell(model_kind, "PS", prepared, k=k, n=n)
+        point = SweepPoint(
+            parameter=n,
+            metrics=cell.metrics,
+            epochs_to_best=cell.train_result.epochs_to_best,
+        )
+        report.points.append(point)
+        lines.append(
+            f"{n:>3} "
+            f"{point.metrics['Nd@5']:>8.4f} {point.metrics['CC@5']:>8.4f} {point.metrics['F@5']:>8.4f} "
+            f"{point.metrics['Nd@20']:>8.4f} {point.metrics['CC@20']:>8.4f} {point.metrics['F@20']:>8.4f}"
+        )
+    report.text = "\n".join(lines)
+    return report
+
+
+@dataclass
+class Fig4Report:
+    """Probability-group snapshots across training epochs (Figure 4)."""
+
+    variant: str
+    snapshots: dict[int, TargetGroupReport] = field(default_factory=dict)
+    text: str = ""
+    cell: CellResult | None = None
+
+
+def fig4_probability_evolution(
+    variant: str = "PS",
+    scale: str | ExperimentScale = "quick",
+    dataset: str = "anime-like",
+    snapshot_epochs: tuple[int, ...] | None = None,
+    num_instances: int = 50,
+    model_kind: str = "mf",
+) -> Fig4Report:
+    """Figure 4: k-DPP subset probabilities grouped by target count.
+
+    Trains an LkP model while snapshotting, at chosen epochs, the
+    group-averaged probabilities of all k-subsets of ``num_instances``
+    sampled ground sets.  The paper uses epochs {0, 30, 100, 200}; the
+    defaults scale those to the configured training length.
+    """
+    resolved = _resolve_scale(scale)
+    if snapshot_epochs is None:
+        last = resolved.epochs
+        snapshot_epochs = tuple(sorted({0, max(1, last // 8), last // 3, last}))
+    prepared = prepare_dataset(dataset, resolved)
+    sampler = GroundSetSampler(prepared.split, k=resolved.k, n=resolved.n, mode="S")
+    instance_rng = np.random.default_rng(resolved.seed + 30)
+    instances = sampler.instances(instance_rng)
+    if len(instances) > num_instances:
+        chosen = instance_rng.choice(len(instances), size=num_instances, replace=False)
+        instances = [instances[i] for i in chosen]
+
+    report = Fig4Report(variant=variant)
+
+    def callback(epoch: int, model) -> None:
+        if epoch in snapshot_epochs and epoch not in report.snapshots:
+            report.snapshots[epoch] = target_count_probabilities(
+                model, prepared.diversity_kernel, instances
+            )
+
+    cell = run_cell(
+        model_kind,
+        variant,
+        prepared,
+        epoch_callback=callback,
+        epochs=max(snapshot_epochs),
+    )
+    lines = [
+        f"Figure 4 ({variant}, {dataset}, {model_kind}, scale={resolved.name}, "
+        f"{len(instances)} ground sets)"
+    ]
+    for epoch in sorted(report.snapshots):
+        group = report.snapshots[epoch]
+        values = " ".join(f"{p:.5f}" for p in group.mean_probability)
+        lines.append(f"epoch {epoch:>4}: P(z=0..{group.k}) = [{values}]  uniform={group.uniform:.5f}")
+    report.text = "\n".join(lines)
+    report.cell = cell
+    return report
+
+
+def ablation_standard_dpp(
+    scale: str | ExperimentScale = "quick",
+    dataset: str = "ml-like",
+    model_kind: str = "mf",
+) -> tuple[CellResult, CellResult, str]:
+    """§IV-B2 ablation: k-DPP normalization vs the standard-DPP normalizer.
+
+    The paper reports that replacing Eq. 6's ``e_k`` with the standard
+    DPP's ``det(L + I)`` (letting subsets of every size compete) destroys
+    the ranking interpretation and underperforms BPR.
+    """
+    resolved = _resolve_scale(scale)
+    prepared = prepare_dataset(dataset, resolved)
+    kdpp_cell = run_cell(model_kind, "PS", prepared)
+    standard_criterion = build_criterion("PS", prepared, normalization="standard_dpp")
+    standard_criterion.name = "LkP-PS(stdDPP)"
+    standard_cell = run_cell(
+        model_kind, "PS", prepared, criterion=standard_criterion
+    )
+    text = "\n".join(
+        [
+            f"Standard-DPP normalization ablation ({dataset}, {model_kind}, scale={resolved.name})",
+            f"{'k-DPP (Eq. 6)':<18} Nd@5={kdpp_cell.metrics['Nd@5']:.4f} Nd@20={kdpp_cell.metrics['Nd@20']:.4f}",
+            f"{'standard DPP':<18} Nd@5={standard_cell.metrics['Nd@5']:.4f} Nd@20={standard_cell.metrics['Nd@20']:.4f}",
+        ]
+    )
+    return kdpp_cell, standard_cell, text
+
+
+def ablation_diverse_vs_monotonous(
+    scale: str | ExperimentScale = "quick",
+    dataset: str = "anime-like",
+    model_kind: str = "mf",
+    num_instances: int = 80,
+) -> tuple[DiversityProbabilityReport, str]:
+    """§IV-B2: diversified vs monotonous target subsets' probabilities."""
+    resolved = _resolve_scale(scale)
+    prepared = prepare_dataset(dataset, resolved)
+    cell = run_cell(model_kind, "PS", prepared)
+    sampler = GroundSetSampler(prepared.split, k=resolved.k, n=resolved.n, mode="S")
+    rng = np.random.default_rng(resolved.seed + 40)
+    instances = sampler.instances(rng)
+    if len(instances) > num_instances:
+        chosen = rng.choice(len(instances), size=num_instances, replace=False)
+        instances = [instances[i] for i in chosen]
+    report = diverse_vs_monotonous(
+        cell.model, prepared.diversity_kernel, instances, prepared.split
+    )
+    text = (
+        f"Diversified vs monotonous target subsets ({dataset}, scale={resolved.name}):\n"
+        f"  diversified (>= {report.diverse_threshold} categories): "
+        f"mean P = {report.diverse_mean:.5f} over {report.diverse_count} sets\n"
+        f"  monotonous  (<  {report.monotonous_threshold} categories): "
+        f"mean P = {report.monotonous_mean:.5f} over {report.monotonous_count} sets"
+    )
+    return report, text

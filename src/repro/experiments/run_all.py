@@ -1,0 +1,91 @@
+"""Command-line entry point regenerating every table and figure.
+
+Usage::
+
+    python -m repro.experiments.run_all --scale quick --only table2,fig2
+    python -m repro.experiments.run_all --scale full            # everything
+
+Output is plain text (the same renderings the benchmarks assert on),
+suitable for pasting into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .case_study import run_case_study
+from .figures import (
+    ablation_diverse_vs_monotonous,
+    ablation_standard_dpp,
+    fig2_k_sweep,
+    fig3_n_sweep,
+    fig4_probability_evolution,
+)
+from .tables import (
+    table1_dataset_statistics,
+    table2_gcn_comparison,
+    table3_mf_comparison,
+    table4_reworked_models,
+)
+
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "ablation_std_dpp",
+    "ablation_diverse",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="quick", choices=("quick", "small", "full"))
+    parser.add_argument(
+        "--only",
+        default=",".join(EXPERIMENTS),
+        help="comma-separated subset of: " + ", ".join(EXPERIMENTS),
+    )
+    args = parser.parse_args(argv)
+    requested = [name.strip() for name in args.only.split(",") if name.strip()]
+    unknown = set(requested) - set(EXPERIMENTS)
+    if unknown:
+        parser.error(f"unknown experiments: {sorted(unknown)}")
+
+    for name in requested:
+        start = time.time()
+        print(f"\n{'=' * 72}\n>>> {name} (scale={args.scale})\n{'=' * 72}")
+        if name == "table1":
+            print(table1_dataset_statistics(args.scale).text)
+        elif name == "table2":
+            print(table2_gcn_comparison(args.scale).text)
+        elif name == "table3":
+            print(table3_mf_comparison(args.scale).text)
+        elif name == "table4":
+            print(table4_reworked_models(args.scale).text)
+        elif name == "fig2":
+            for variant in ("PS", "NPS"):
+                print(fig2_k_sweep(variant=variant, scale=args.scale).text)
+        elif name == "fig3":
+            print(fig3_n_sweep(scale=args.scale).text)
+        elif name == "fig4":
+            for variant in ("PS", "NPS"):
+                print(fig4_probability_evolution(variant=variant, scale=args.scale).text)
+        elif name == "fig5":
+            print(run_case_study(scale=args.scale).text)
+        elif name == "ablation_std_dpp":
+            print(ablation_standard_dpp(scale=args.scale)[2])
+        elif name == "ablation_diverse":
+            print(ablation_diverse_vs_monotonous(scale=args.scale)[1])
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

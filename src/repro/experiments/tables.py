@@ -1,0 +1,152 @@
+"""Runners for the paper's Tables I-IV.
+
+Each function regenerates one table at a chosen
+:class:`~repro.experiments.common.ExperimentScale` and returns both the
+raw :class:`CellResult` grid and a printable rendering.  The benchmark
+suite calls these with ``scale="quick"``; EXPERIMENTS.md records the
+``full``-scale outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..data import DATASET_FACTORIES
+from .common import (
+    SCALES,
+    CellResult,
+    ExperimentScale,
+    prepare_dataset,
+    run_cell,
+)
+from .reporting import render_improvements, render_rework_table, render_table
+
+__all__ = [
+    "TableReport",
+    "table1_dataset_statistics",
+    "table2_gcn_comparison",
+    "table3_mf_comparison",
+    "table4_reworked_models",
+    "TABLE2_METHODS",
+    "TABLE3_METHODS",
+]
+
+#: Table II method list: the six LkP variants plus the four baselines.
+TABLE2_METHODS = ("PR", "PS", "NPR", "NPS", "PSE", "NPSE", "BPR", "BCE", "SetRank", "S2SRank")
+#: Table III restricts to the two main variants and the ranking baselines.
+TABLE3_METHODS = ("PS", "NPS", "BPR", "SetRank", "S2SRank")
+DEFAULT_DATASETS = ("beauty-like", "ml-like", "anime-like")
+
+
+@dataclass
+class TableReport:
+    """Results and rendering of one regenerated table."""
+
+    name: str
+    cells: list[CellResult] = field(default_factory=list)
+    text: str = ""
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.text)
+
+
+def _resolve_scale(scale: str | ExperimentScale) -> ExperimentScale:
+    if isinstance(scale, ExperimentScale):
+        return scale
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+def table1_dataset_statistics(scale: str | ExperimentScale = "quick") -> TableReport:
+    """Table I: statistics of the (synthetic stand-in) datasets."""
+    resolved = _resolve_scale(scale)
+    header = (
+        f"{'Dataset':<14} {'#Users':>7} {'#Items':>7} {'#Interactions':>13} "
+        f"{'#Categories':>11} {'Density':>9}"
+    )
+    lines = [f"Table I (scale={resolved.name})", header, "-" * len(header)]
+    for name in DEFAULT_DATASETS:
+        prepared = prepare_dataset(name, resolved)
+        lines.append(prepared.dataset.stats().as_row())
+    return TableReport(name="table1", text="\n".join(lines))
+
+
+def _comparison_table(
+    name: str,
+    model_kind: str,
+    methods: tuple[str, ...],
+    datasets: tuple[str, ...],
+    scale: ExperimentScale,
+    verbose: bool,
+) -> TableReport:
+    report = TableReport(name=name)
+    blocks: list[str] = [f"{name} ({model_kind} backbone, scale={scale.name}, k=n={scale.k})"]
+    for dataset_name in datasets:
+        prepared = prepare_dataset(dataset_name, scale)
+        cells = []
+        for method in methods:
+            cell = run_cell(model_kind, method, prepared, verbose=verbose)
+            cells.append(cell)
+            report.cells.append(cell)
+        blocks.append(render_table(cells, title=f"== {dataset_name} =="))
+        blocks.append(render_improvements(cells))
+    report.text = "\n\n".join(blocks)
+    return report
+
+
+def table2_gcn_comparison(
+    scale: str | ExperimentScale = "quick",
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    methods: tuple[str, ...] = TABLE2_METHODS,
+    verbose: bool = False,
+) -> TableReport:
+    """Table II: every criterion on the GCN backbone across datasets."""
+    return _comparison_table(
+        "Table II", "gcn", methods, datasets, _resolve_scale(scale), verbose
+    )
+
+
+def table3_mf_comparison(
+    scale: str | ExperimentScale = "quick",
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    methods: tuple[str, ...] = TABLE3_METHODS,
+    verbose: bool = False,
+) -> TableReport:
+    """Table III: ranking criteria on the plain MF backbone."""
+    return _comparison_table(
+        "Table III", "mf", methods, datasets, _resolve_scale(scale), verbose
+    )
+
+
+def table4_reworked_models(
+    scale: str | ExperimentScale = "quick",
+    datasets: tuple[str, ...] = DEFAULT_DATASETS,
+    backbones: tuple[str, ...] = ("gcmc", "neumf"),
+    verbose: bool = False,
+) -> TableReport:
+    """Table IV: GCMC / NeuMF with native losses vs their LkP reworks."""
+    resolved = _resolve_scale(scale)
+    report = TableReport(name="table4")
+    blocks: list[str] = [f"Table IV (scale={resolved.name}, k=n={resolved.k})"]
+    native_criterion = {"gcmc": "GCMC-NLL", "neumf": "BCE"}
+    for dataset_name in datasets:
+        prepared = prepare_dataset(dataset_name, resolved)
+        for backbone in backbones:
+            baseline = run_cell(
+                backbone, native_criterion[backbone], prepared, verbose=verbose
+            )
+            baseline.method = backbone.upper()
+            reworked = []
+            for variant in ("PS", "NPS"):
+                cell = run_cell(backbone, variant, prepared, verbose=verbose)
+                cell.method = f"{backbone.upper()}-{variant}"
+                reworked.append(cell)
+            report.cells.extend([baseline, *reworked])
+            blocks.append(
+                render_rework_table(
+                    baseline, reworked, title=f"== {dataset_name} / {backbone.upper()} =="
+                )
+            )
+    report.text = "\n\n".join(blocks)
+    return report

@@ -1,0 +1,43 @@
+"""``repro.losses`` — optimization criteria.
+
+The paper's contribution and every baseline it compares against, all
+satisfying the :class:`~repro.losses.base.Criterion` interface:
+
+* :class:`~repro.losses.lkp.LkPCriterion` — the set-level k-DPP criterion
+  (variants PS / PR / NPS / NPR / PSE / NPSE via
+  :func:`~repro.losses.lkp.make_lkp_variant`);
+* :class:`~repro.losses.pointwise.BCECriterion` — binary cross-entropy;
+* :class:`~repro.losses.pairwise.BPRCriterion` — Bayesian personalized
+  ranking;
+* :class:`~repro.losses.setrank.SetRankCriterion` — Plackett–Luce top-1
+  setwise ranking;
+* :class:`~repro.losses.set2setrank.Set2SetRankCriterion` — three-level
+  set-to-set margins;
+* :class:`~repro.losses.pointwise.GCMCNLLCriterion` — GCMC's native
+  rating-level NLL;
+* :mod:`~repro.losses.gradients` — the paper's analytic Eq. 12/14/15
+  gradients, used to validate the autodiff path.
+"""
+
+from .base import Criterion
+from .gradients import AnalyticLkPGradients, build_mf_kernel, lkp_analytic_gradients
+from .lkp import LKP_VARIANTS, LkPCriterion, make_lkp_variant
+from .pairwise import BPRCriterion
+from .pointwise import BCECriterion, GCMCNLLCriterion
+from .set2setrank import Set2SetRankCriterion
+from .setrank import SetRankCriterion
+
+__all__ = [
+    "Criterion",
+    "LkPCriterion",
+    "make_lkp_variant",
+    "LKP_VARIANTS",
+    "BPRCriterion",
+    "BCECriterion",
+    "GCMCNLLCriterion",
+    "SetRankCriterion",
+    "Set2SetRankCriterion",
+    "AnalyticLkPGradients",
+    "build_mf_kernel",
+    "lkp_analytic_gradients",
+]

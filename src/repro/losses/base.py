@@ -1,0 +1,66 @@
+"""The optimization-criterion interface.
+
+A :class:`Criterion` pairs (1) a *sampler factory* producing one epoch of
+training instances from a dataset split with (2) a differentiable *batch
+loss* over those instances given a model's representations.  The trainer
+is therefore completely generic: the paper's comparison grid (every
+criterion × every backbone × every dataset) is a triple nested loop over
+interchangeable parts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor
+from ..data.interactions import DatasetSplit
+from ..models.base import Recommender
+
+__all__ = ["Criterion"]
+
+
+class Criterion:
+    """Abstract optimization criterion."""
+
+    #: short identifier used in experiment tables ("BPR", "LkP-NPS", ...)
+    name: str = "criterion"
+
+    def make_sampler(self, split: DatasetSplit) -> Any:  # pragma: no cover
+        """Return an object with ``instances(rng) -> list`` for the split."""
+        raise NotImplementedError
+
+    def batch_loss(
+        self,
+        model: Recommender,
+        representations: Any,
+        batch: Sequence[Any],
+    ) -> Tensor:  # pragma: no cover - abstract
+        """Mean loss over a minibatch of sampler instances."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+    @staticmethod
+    def _flat_pairs(
+        batch_users: list[np.ndarray], batch_items: list[np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray, list[tuple[int, int]]]:
+        """Concatenate per-instance index arrays into one scoring call.
+
+        Returns flat user / item arrays plus per-instance (start, stop)
+        slices, letting criteria score a whole minibatch through a single
+        ``scores_for_pairs`` (one gather instead of hundreds).
+        """
+        spans: list[tuple[int, int]] = []
+        cursor = 0
+        for items in batch_items:
+            spans.append((cursor, cursor + items.shape[0]))
+            cursor += items.shape[0]
+        return (
+            np.concatenate(batch_users),
+            np.concatenate(batch_items),
+            spans,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

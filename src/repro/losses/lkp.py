@@ -1,0 +1,282 @@
+"""LkP — the paper's set-level k-DPP optimization criterion.
+
+For each training instance (user u, ground set of k observed + n
+unobserved items) the criterion:
+
+1. obtains raw model scores for the k+n items and maps them to positive
+   *quality* values (Eq. 13: ``exp(score)`` for inner-product models,
+   the predicted probability for classifier models);
+2. assembles the personalized kernel ``L = Diag(q) K Diag(q)`` (Eq. 2),
+   where ``K`` is either the **pre-learned, frozen** diversity kernel
+   (default variants) or a **Gaussian kernel over the trainable item
+   embeddings** (the E-variants, where diversity gradients flow into the
+   embeddings directly);
+3. evaluates the tailored k-DPP log-probability of the target subset
+   (Eq. 4) with the differentiable Newton-identity normalizer (Eq. 6);
+4. for the NP variants additionally drives down the probability of the
+   all-negative k-subset via ``log(1 - P(S-))`` (Eq. 10).
+
+The loss is the negative of the paper's maximization objective
+(Eq. 7 / Eq. 10), averaged over the minibatch.
+
+Variant naming follows the paper:
+
+=======  =========  =============  ==================
+variant  objective  sampling mode  diversity kernel
+=======  =========  =============  ==================
+PS       Eq. 7      S (window)     pre-learned K
+PR       Eq. 7      R (random)     pre-learned K
+NPS      Eq. 10     S              pre-learned K
+NPR      Eq. 10     R              pre-learned K
+PSE      Eq. 7      S              embedding Gaussian
+NPSE     Eq. 10     S              embedding Gaussian
+=======  =========  =============  ==================
+
+``normalization="standard_dpp"`` swaps Eq. 6's ``e_k`` for the standard
+DPP's ``det(L + I)``, reproducing the paper's ablation showing that the
+unconditioned normalizer (where subsets of all sizes compete) destroys
+the ranking interpretation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, functional as F
+from ..data.interactions import DatasetSplit
+from ..data.samplers import GroundSetInstance, GroundSetSampler
+from ..dpp.esp import differentiable_log_esp
+from ..dpp.kernels import (
+    exp_quality,
+    gaussian_similarity_kernel,
+    identity_quality,
+    quality_diversity_kernel,
+    sigmoid_quality,
+)
+from ..models.base import Recommender
+from .base import Criterion
+
+__all__ = ["LkPCriterion", "make_lkp_variant", "LKP_VARIANTS"]
+
+LKP_VARIANTS = ("PS", "PR", "NPS", "NPR", "PSE", "NPSE")
+
+
+class LkPCriterion(Criterion):
+    """The LkP set-level optimization criterion (all paper variants).
+
+    Parameters
+    ----------
+    k / n:
+        Target-set size and negative count of the k+n ground set.  The
+        NP objective requires ``n == k`` (the paper fixes this "to avoid
+        extra comparisons between unobserved items").
+    sampling:
+        ``"S"`` — sequential sliding-window targets; ``"R"`` — random.
+    use_negative_set:
+        False → Eq. 7 (inclusion only, the P objective); True → Eq. 10
+        (inclusion + exclusion, the NP objective).
+    kernel_mode:
+        ``"pretrained"`` — frozen diversity kernel ``diversity_kernel``
+        indexed per ground set; ``"embedding"`` — Gaussian kernel over the
+        model's item vectors (the E formulation).
+    diversity_kernel:
+        Dense ``M x M`` PSD matrix (required for ``"pretrained"``).
+    bandwidth:
+        Gaussian kernel bandwidth for ``"embedding"`` mode.
+    normalization:
+        ``"kdpp"`` (Eq. 6) or ``"standard_dpp"`` (ablation).
+    jitter:
+        Diagonal stabilizer added to the assembled ground-set kernel.
+    """
+
+    def __init__(
+        self,
+        k: int = 5,
+        n: int = 5,
+        sampling: str = "S",
+        use_negative_set: bool = False,
+        kernel_mode: str = "pretrained",
+        diversity_kernel: np.ndarray | None = None,
+        bandwidth: float = 1.0,
+        normalization: str = "kdpp",
+        jitter: float = 1e-6,
+        name: str | None = None,
+    ) -> None:
+        if sampling not in ("S", "R"):
+            raise ValueError(f"sampling must be 'S' or 'R', got {sampling!r}")
+        if kernel_mode not in ("pretrained", "embedding"):
+            raise ValueError(
+                f"kernel_mode must be 'pretrained' or 'embedding', got {kernel_mode!r}"
+            )
+        if normalization not in ("kdpp", "standard_dpp"):
+            raise ValueError(
+                f"normalization must be 'kdpp' or 'standard_dpp', got {normalization!r}"
+            )
+        if use_negative_set and n != k:
+            raise ValueError(
+                "the NP objective (Eq. 10) requires n == k so the excluded "
+                f"negative subset has cardinality k; got k={k}, n={n}"
+            )
+        if kernel_mode == "pretrained":
+            if diversity_kernel is None:
+                raise ValueError(
+                    "kernel_mode='pretrained' needs the pre-learned diversity "
+                    "kernel (see repro.dpp.DiversityKernelLearner)"
+                )
+            diversity_kernel = np.asarray(diversity_kernel, dtype=np.float64)
+            if (
+                diversity_kernel.ndim != 2
+                or diversity_kernel.shape[0] != diversity_kernel.shape[1]
+            ):
+                raise ValueError(
+                    f"diversity kernel must be square, got {diversity_kernel.shape}"
+                )
+        self.k = k
+        self.n = n
+        self.sampling = sampling
+        self.use_negative_set = use_negative_set
+        self.kernel_mode = kernel_mode
+        self.diversity_kernel = diversity_kernel
+        self.bandwidth = bandwidth
+        self.normalization = normalization
+        self.jitter = jitter
+        if name is None:
+            code = ("NP" if use_negative_set else "P") + sampling
+            if kernel_mode == "embedding":
+                code += "E"
+            name = f"LkP-{code}"
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def make_sampler(self, split: DatasetSplit) -> GroundSetSampler:
+        if (
+            self.kernel_mode == "pretrained"
+            and self.diversity_kernel.shape[0] != split.dataset.num_items
+        ):
+            raise ValueError(
+                f"diversity kernel covers {self.diversity_kernel.shape[0]} items "
+                f"but the dataset has {split.dataset.num_items}"
+            )
+        return GroundSetSampler(split, k=self.k, n=self.n, mode=self.sampling)
+
+    # ------------------------------------------------------------------
+    def _quality(self, model: Recommender, scores: Tensor) -> Tensor:
+        transform = getattr(model, "quality_transform", "exp")
+        if transform == "exp":
+            return exp_quality(scores)
+        if transform == "sigmoid":
+            return sigmoid_quality(scores)
+        return identity_quality(scores)
+
+    def instance_kernel(
+        self,
+        model: Recommender,
+        representations,
+        instance: GroundSetInstance,
+        scores: Tensor | None = None,
+    ) -> Tensor:
+        """Assemble the differentiable ground-set kernel L (Eq. 2).
+
+        ``scores`` may be passed in when the caller already scored the
+        instance as part of a batched gather.
+        """
+        ground = instance.ground_set
+        if scores is None:
+            users = np.full(ground.shape[0], instance.user, dtype=np.int64)
+            scores = model.scores_for_pairs(representations, users, ground)
+        quality = self._quality(model, scores)
+        if self.kernel_mode == "pretrained":
+            diversity = Tensor(self.diversity_kernel[np.ix_(ground, ground)])
+        else:
+            vectors = model.item_vectors(representations, ground)
+            diversity = gaussian_similarity_kernel(vectors, bandwidth=self.bandwidth)
+        kernel = quality_diversity_kernel(quality, diversity)
+        return kernel + Tensor(self.jitter * np.eye(ground.shape[0]))
+
+    def _log_normalizer(self, kernel: Tensor) -> Tensor:
+        if self.normalization == "kdpp":
+            return differentiable_log_esp(kernel, self.k)
+        identity = Tensor(np.eye(kernel.shape[0]))
+        return F.logdet_psd(kernel + identity)
+
+    def instance_loss(
+        self,
+        model: Recommender,
+        representations,
+        instance: GroundSetInstance,
+        scores: Tensor | None = None,
+    ) -> Tensor:
+        """Negative Eq. 7 / Eq. 10 contribution of a single instance."""
+        k = instance.k
+        kernel = self.instance_kernel(model, representations, instance, scores)
+        log_z = self._log_normalizer(kernel)
+        target_block = kernel[np.ix_(np.arange(k), np.arange(k))]
+        log_p_target = F.logdet_psd(target_block) - log_z
+        loss = -log_p_target
+        if self.use_negative_set:
+            size = instance.k + instance.n
+            negative_positions = np.arange(k, size)
+            negative_block = kernel[np.ix_(negative_positions, negative_positions)]
+            log_p_negative = F.logdet_psd(negative_block) - log_z
+            # P(S-) in (0, 1); clamp to keep log(1 - P) finite when the
+            # model is still uncalibrated early in training.
+            p_negative = log_p_negative.exp().clip(0.0, 1.0 - 1e-9)
+            loss = loss - (1.0 - p_negative).log()
+        return loss
+
+    def batch_loss(
+        self,
+        model: Recommender,
+        representations,
+        batch: Sequence[GroundSetInstance],
+    ) -> Tensor:
+        # Score every ground set in one call, then build per-instance
+        # kernels from slices of the shared score tensor.
+        batch_users = [
+            np.full(inst.k + inst.n, inst.user, dtype=np.int64) for inst in batch
+        ]
+        batch_items = [inst.ground_set for inst in batch]
+        flat_users, flat_items, spans = self._flat_pairs(batch_users, batch_items)
+        scores = model.scores_for_pairs(representations, flat_users, flat_items)
+
+        total: Tensor | None = None
+        for (start, stop), instance in zip(spans, batch):
+            contribution = self.instance_loss(
+                model, representations, instance, scores=scores[start:stop]
+            )
+            total = contribution if total is None else total + contribution
+        return total * (1.0 / len(batch))
+
+
+def make_lkp_variant(
+    code: str,
+    diversity_kernel: np.ndarray | None = None,
+    k: int = 5,
+    n: int = 5,
+    bandwidth: float = 1.0,
+    normalization: str = "kdpp",
+) -> LkPCriterion:
+    """Construct one of the paper's six LkP variants by code name.
+
+    ``PS``, ``PR``, ``NPS``, ``NPR`` require ``diversity_kernel``;
+    ``PSE`` and ``NPSE`` use the embedding Gaussian kernel instead.
+    """
+    code = code.upper()
+    if code not in LKP_VARIANTS:
+        raise ValueError(f"unknown LkP variant {code!r}; choose from {LKP_VARIANTS}")
+    use_negative = code.startswith("NP")
+    sampling = "R" if code.rstrip("E").endswith("R") else "S"
+    embedding_mode = code.endswith("E")
+    return LkPCriterion(
+        k=k,
+        n=n,
+        sampling=sampling,
+        use_negative_set=use_negative,
+        kernel_mode="embedding" if embedding_mode else "pretrained",
+        diversity_kernel=None if embedding_mode else diversity_kernel,
+        bandwidth=bandwidth,
+        normalization=normalization,
+        name=f"LkP-{code}" if code not in ("PS", "NPS") else f"LkP-{code}",
+    )

@@ -1,0 +1,43 @@
+"""BPR — Bayesian Personalized Ranking (Rendle et al., 2012).
+
+The canonical pairwise criterion the paper positions LkP against:
+maximize ``log sigma(score(u, i+) - score(u, j-))`` over sampled
+(user, observed, unobserved) triples, treating every pair independently
+and hence ignoring all item-item correlation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, functional as F
+from ..data.interactions import DatasetSplit
+from ..data.samplers import PairSampler
+from ..models.base import Recommender
+from .base import Criterion
+
+__all__ = ["BPRCriterion"]
+
+
+class BPRCriterion(Criterion):
+    """Pairwise log-sigmoid ranking loss."""
+
+    name = "BPR"
+
+    def make_sampler(self, split: DatasetSplit) -> PairSampler:
+        return PairSampler(split)
+
+    def batch_loss(
+        self,
+        model: Recommender,
+        representations,
+        batch: Sequence[tuple[int, int, int]],
+    ) -> Tensor:
+        users = np.asarray([b[0] for b in batch], dtype=np.int64)
+        positives = np.asarray([b[1] for b in batch], dtype=np.int64)
+        negatives = np.asarray([b[2] for b in batch], dtype=np.int64)
+        pos_scores = model.scores_for_pairs(representations, users, positives)
+        neg_scores = model.scores_for_pairs(representations, users, negatives)
+        return -F.log_sigmoid(pos_scores - neg_scores).mean()

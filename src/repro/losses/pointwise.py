@@ -1,0 +1,80 @@
+"""Pointwise baselines: binary cross-entropy and GCMC's level NLL."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, functional as F
+from ..data.interactions import DatasetSplit
+from ..data.samplers import PointwiseSampler
+from ..models.base import Recommender
+from .base import Criterion
+
+__all__ = ["BCECriterion", "GCMCNLLCriterion"]
+
+
+class BCECriterion(Criterion):
+    """Binary cross-entropy on (user, item, 0/1) instances.
+
+    The paper's pointwise baseline (and NeuMF's native loss): each
+    observed interaction is a positive example and ``negative_ratio``
+    sampled unobserved items are negatives, scored independently.
+    """
+
+    name = "BCE"
+
+    def __init__(self, negative_ratio: int = 1) -> None:
+        self.negative_ratio = negative_ratio
+
+    def make_sampler(self, split: DatasetSplit) -> PointwiseSampler:
+        return PointwiseSampler(split, negative_ratio=self.negative_ratio)
+
+    def batch_loss(
+        self,
+        model: Recommender,
+        representations,
+        batch: Sequence[tuple[int, int, float]],
+    ) -> Tensor:
+        users = np.asarray([b[0] for b in batch], dtype=np.int64)
+        items = np.asarray([b[1] for b in batch], dtype=np.int64)
+        labels = np.asarray([b[2] for b in batch], dtype=np.float64)
+        logits = model.scores_for_pairs(representations, users, items)
+        return F.binary_cross_entropy_with_logits(logits, labels)
+
+
+class GCMCNLLCriterion(Criterion):
+    """GCMC's native objective: softmax NLL over the two rating levels.
+
+    "It applies negative log likelihood as loss, and a probability
+    distribution over possible rating levels by a softmax function is
+    produced."  Requires a model exposing ``level_logits`` (GCMC).
+    """
+
+    name = "GCMC-NLL"
+
+    def __init__(self, negative_ratio: int = 1) -> None:
+        self.negative_ratio = negative_ratio
+
+    def make_sampler(self, split: DatasetSplit) -> PointwiseSampler:
+        return PointwiseSampler(split, negative_ratio=self.negative_ratio)
+
+    def batch_loss(
+        self,
+        model: Recommender,
+        representations,
+        batch: Sequence[tuple[int, int, float]],
+    ) -> Tensor:
+        if not hasattr(model, "level_logits"):
+            raise TypeError(
+                f"{type(model).__name__} does not produce rating-level logits; "
+                "GCMCNLLCriterion only fits GCMC-style decoders"
+            )
+        users = np.asarray([b[0] for b in batch], dtype=np.int64)
+        items = np.asarray([b[1] for b in batch], dtype=np.int64)
+        levels = np.asarray([int(b[2]) for b in batch], dtype=np.int64)
+        logits = model.level_logits(representations, users, items)
+        log_probs = F.log_softmax(logits, axis=1)
+        picked = log_probs[np.arange(len(batch)), levels]
+        return -picked.mean()

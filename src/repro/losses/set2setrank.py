@@ -1,0 +1,115 @@
+"""Set2SetRank (Chen et al., SIGIR 2021) — collaborative set-to-set ranking.
+
+Set2SetRank builds set-level ranking pairs but, as the paper stresses,
+"still uses the BPR optimization criterion": the comparison is assembled
+from log-sigmoid margins between *summaries of individual items* rather
+than from a joint set probability.  Following the original three-part
+construction, for a positive set S+ and sampled negative set S-:
+
+* **item→item**: every (i in S+, j in S-) pair contributes
+  ``-log sigma(s_i - s_j)``;
+* **item→set**: the *hardest* positive (minimum score) must beat each
+  negative: ``-log sigma(min_i s_i - s_j)``;
+* **set→set**: an aggregated margin between the mean positive and the
+  maximum negative score with margin ``gamma``:
+  ``-log sigma(mean(s+) - max(s-) - gamma)``.
+
+The min/max reductions use the arg-selected element (a valid
+subgradient).  Weights follow the original's equal-weight default.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..autodiff import Tensor, functional as F
+from ..data.interactions import DatasetSplit
+from ..data.samplers import SetPairSampler
+from ..models.base import Recommender
+from .base import Criterion
+
+__all__ = ["Set2SetRankCriterion"]
+
+
+def _select_min(scores: Tensor) -> Tensor:
+    index = int(np.argmin(scores.data))
+    return scores[index]
+
+
+def _select_max(scores: Tensor) -> Tensor:
+    index = int(np.argmax(scores.data))
+    return scores[index]
+
+
+class Set2SetRankCriterion(Criterion):
+    """Three-level set comparison assembled from BPR-style margins."""
+
+    name = "S2SRank"
+
+    def __init__(
+        self,
+        k: int = 5,
+        n: int = 5,
+        margin: float = 0.5,
+        item_weight: float = 1.0,
+        item_set_weight: float = 1.0,
+        set_weight: float = 1.0,
+    ) -> None:
+        self.k = k
+        self.n = n
+        self.margin = margin
+        self.item_weight = item_weight
+        self.item_set_weight = item_set_weight
+        self.set_weight = set_weight
+
+    def make_sampler(self, split: DatasetSplit) -> SetPairSampler:
+        return SetPairSampler(split, k=self.k, n=self.n)
+
+    def batch_loss(
+        self,
+        model: Recommender,
+        representations,
+        batch: Sequence[tuple[int, np.ndarray, np.ndarray]],
+    ) -> Tensor:
+        # One scoring call for the whole batch.
+        batch_users = [
+            np.full(positives.shape[0] + negatives.shape[0], user, dtype=np.int64)
+            for user, positives, negatives in batch
+        ]
+        batch_items = [
+            np.concatenate([positives, negatives]).astype(np.int64)
+            for _, positives, negatives in batch
+        ]
+        flat_users, flat_items, spans = self._flat_pairs(batch_users, batch_items)
+        scores = model.scores_for_pairs(representations, flat_users, flat_items)
+
+        total: Tensor | None = None
+        for (start, stop), (_, positives, negatives) in zip(spans, batch):
+            k = positives.shape[0]
+            instance_scores = scores[start:stop]
+            pos_scores = instance_scores[np.arange(k)]
+            neg_scores = instance_scores[np.arange(k, stop - start)]
+
+            # item -> item: all pairwise margins via broadcasting.
+            n_neg = stop - start - k
+            diff = pos_scores.reshape(k, 1) - neg_scores.reshape(1, n_neg)
+            item_item = -F.log_sigmoid(diff).mean()
+
+            # item -> set: hardest positive against every negative.
+            hardest_positive = _select_min(pos_scores)
+            item_set = -F.log_sigmoid(hardest_positive - neg_scores).mean()
+
+            # set -> set: aggregated margin comparison.
+            set_set = -F.log_sigmoid(
+                pos_scores.mean() - _select_max(neg_scores) - self.margin
+            )
+
+            instance_loss = (
+                item_item * self.item_weight
+                + item_set * self.item_set_weight
+                + set_set * self.set_weight
+            )
+            total = instance_loss if total is None else total + instance_loss
+        return total * (1.0 / len(batch))

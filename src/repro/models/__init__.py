@@ -1,0 +1,26 @@
+"""``repro.models`` — the recommendation backbones of the paper.
+
+All models satisfy the :class:`~repro.models.base.Recommender` contract so
+any criterion can train any backbone:
+
+* :class:`~repro.models.mf.MFRecommender` — inner-product MF (Table III);
+* :class:`~repro.models.gcn.GCNRecommender` — NGCF-style GCN, with a
+  LightGCN variant (Table II);
+* :class:`~repro.models.neumf.NeuMFRecommender` — GMF + MLP (Table IV);
+* :class:`~repro.models.gcmc.GCMCRecommender` — graph auto-encoder with a
+  softmax-over-levels decoder (Table IV).
+"""
+
+from .base import Recommender
+from .gcmc import GCMCRecommender
+from .gcn import GCNRecommender
+from .mf import MFRecommender
+from .neumf import NeuMFRecommender
+
+__all__ = [
+    "Recommender",
+    "MFRecommender",
+    "GCNRecommender",
+    "NeuMFRecommender",
+    "GCMCRecommender",
+]

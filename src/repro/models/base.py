@@ -1,0 +1,86 @@
+"""The common recommendation-model interface.
+
+Every backbone (MF, GCN, NeuMF, GCMC) exposes the same contract so that
+any optimization criterion — LkP or a baseline — can train any model, the
+generality the paper demonstrates in its Tables II–IV:
+
+* :meth:`Recommender.representations` computes whatever intermediate
+  state scoring needs (embedding tables for MF, propagated node
+  embeddings for GCN, ...).  The trainer calls it once per optimization
+  step so graph models do not re-propagate for every instance in a batch.
+* :meth:`Recommender.scores_for_pairs` returns differentiable raw scores
+  for (user, item) index arrays, built from those representations.
+* :meth:`Recommender.item_vectors` exposes item-side representation rows
+  for the paper's E-variant (embedding-based Gaussian diversity kernel).
+* :meth:`Recommender.full_scores` produces the dense evaluation matrix
+  under ``no_grad``.
+* :attr:`Recommender.quality_transform` names how LkP converts raw scores
+  into the positive quality values of Eq. 2/13: ``"exp"`` for
+  inner-product models (exp of the dot product, Eq. 13) and ``"sigmoid"``
+  for classifier-style models (NeuMF, GCMC).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..autodiff import Tensor, nn, no_grad
+
+__all__ = ["Recommender"]
+
+
+class Recommender(nn.Module):
+    """Abstract base class for all backbones."""
+
+    #: how LkP maps raw scores to kernel quality values ("exp" / "sigmoid")
+    quality_transform: str = "exp"
+
+    def __init__(self, num_users: int, num_items: int) -> None:
+        super().__init__()
+        if num_users < 1 or num_items < 1:
+            raise ValueError("need at least one user and one item")
+        self.num_users = num_users
+        self.num_items = num_items
+
+    # -- contract --------------------------------------------------------
+    def representations(self) -> Any:  # pragma: no cover - abstract
+        """Per-step shared state (embedding tables, propagated graphs...)."""
+        raise NotImplementedError
+
+    def scores_for_pairs(
+        self, representations: Any, users: np.ndarray, items: np.ndarray
+    ) -> Tensor:  # pragma: no cover - abstract
+        """Differentiable raw scores for aligned (users, items) arrays."""
+        raise NotImplementedError
+
+    def item_vectors(self, representations: Any, items: np.ndarray) -> Tensor:
+        """Item representation rows (for E-variant diversity kernels)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose item vectors"
+        )
+
+    # -- conveniences ----------------------------------------------------
+    def score_items(self, user: int, items: np.ndarray) -> Tensor:
+        """Scores of ``items`` for a single user (fresh representations)."""
+        items = np.asarray(items, dtype=np.int64)
+        users = np.full(items.shape[0], int(user), dtype=np.int64)
+        return self.scores_for_pairs(self.representations(), users, items)
+
+    def full_scores(self) -> np.ndarray:
+        """Dense ``num_users x num_items`` score matrix for evaluation.
+
+        Computed under ``no_grad`` in user-batches; subclasses may
+        override with a faster closed form (MF/GCN use one matmul).
+        """
+        with no_grad():
+            representations = self.representations()
+            all_items = np.arange(self.num_items, dtype=np.int64)
+            rows = []
+            for user in range(self.num_users):
+                users = np.full(self.num_items, user, dtype=np.int64)
+                rows.append(
+                    self.scores_for_pairs(representations, users, all_items).data
+                )
+        return np.stack(rows, axis=0)

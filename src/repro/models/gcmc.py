@@ -1,0 +1,119 @@
+"""GCMC (van den Berg et al., 2017) — graph convolutional matrix completion.
+
+The second Table IV rework target.  GCMC is a graph auto-encoder: a graph
+convolution encodes users and items from the bipartite interaction graph,
+and a bilinear decoder produces *a probability distribution over rating
+levels via softmax* — the property the paper singles out as making GCMC's
+relevance computation "distinct from commonly used" dot products and
+MLP classifiers.
+
+With implicit feedback there are two levels (interacted / not), so the
+decoder outputs two logits per pair through separate bilinear forms and
+the native criterion is the negative log-likelihood of the observed level
+(positives observed as level 1, sampled negatives as level 0).  The raw
+relevance score used for ranking and for LkP quality is the log-odds
+``logit_1 - logit_0`` (monotone in P(level=1)); the LkP rework applies
+the ``"sigmoid"`` transform to it, recovering exactly P(level=1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autodiff import Tensor, functional as F, nn, no_grad
+from ..autodiff.sparse import bipartite_adjacency, normalize_adjacency, sparse_matmul
+from ..utils.rng import ensure_rng
+from .base import Recommender
+
+__all__ = ["GCMCRecommender"]
+
+
+class GCMCRecommender(Recommender):
+    """Single-layer graph auto-encoder with a two-level bilinear decoder."""
+
+    quality_transform = "sigmoid"
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        train_matrix: sp.spmatrix,
+        dim: int = 32,
+        hidden_dim: int = 32,
+        rng: np.random.Generator | int | None = None,
+        init_std: float = 0.1,
+    ) -> None:
+        super().__init__(num_users, num_items)
+        if train_matrix.shape != (num_users, num_items):
+            raise ValueError(
+                f"train matrix shape {train_matrix.shape} does not match "
+                f"({num_users}, {num_items})"
+            )
+        rng = ensure_rng(rng)
+        self.dim = dim
+        self.hidden_dim = hidden_dim
+
+        coo = train_matrix.tocoo()
+        adjacency = bipartite_adjacency(
+            num_users, num_items, coo.row.astype(np.int64), coo.col.astype(np.int64)
+        )
+        self._adjacency = normalize_adjacency(adjacency, add_self_loops=True)
+
+        self.user_embedding = nn.Embedding(num_users, dim, rng, std=init_std)
+        self.item_embedding = nn.Embedding(num_items, dim, rng, std=init_std)
+        self.encoder = nn.Linear(dim, hidden_dim, rng)
+        # One bilinear form per rating level, realised as Q_c = B_c B_c^T/d
+        # style free matrices (full parameterization, as in the original).
+        self.decoder_neg = nn.Linear(hidden_dim, hidden_dim, rng, bias=False)
+        self.decoder_pos = nn.Linear(hidden_dim, hidden_dim, rng, bias=False)
+
+    def representations(self) -> tuple[Tensor, Tensor]:
+        embeddings = F.concat(
+            [self.user_embedding.all_rows(), self.item_embedding.all_rows()], axis=0
+        )
+        hidden = F.relu(self.encoder(sparse_matmul(self._adjacency, embeddings)))
+        user_repr = hidden[np.arange(self.num_users)]
+        item_repr = hidden[np.arange(self.num_users, self.num_users + self.num_items)]
+        return user_repr, item_repr
+
+    def level_logits(
+        self,
+        representations: tuple[Tensor, Tensor],
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
+        """Per-pair logits over the two rating levels, shape ``(B, 2)``."""
+        user_repr, item_repr = representations
+        u = F.gather_rows(user_repr, users)
+        v = F.gather_rows(item_repr, items)
+        logit_neg = (self.decoder_neg(u) * v).sum(axis=1)
+        logit_pos = (self.decoder_pos(u) * v).sum(axis=1)
+        batch = users.shape[0]
+        return F.concat(
+            [logit_neg.reshape(batch, 1), logit_pos.reshape(batch, 1)], axis=1
+        )
+
+    def scores_for_pairs(
+        self,
+        representations: tuple[Tensor, Tensor],
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
+        logits = self.level_logits(representations, users, items)
+        batch = users.shape[0]
+        # log-odds of the positive level; monotone in P(level = 1).
+        return logits[np.arange(batch), np.ones(batch, dtype=np.int64)] - logits[
+            np.arange(batch), np.zeros(batch, dtype=np.int64)
+        ]
+
+    def item_vectors(self, representations, items: np.ndarray) -> Tensor:
+        _, item_repr = representations
+        return F.gather_rows(item_repr, items)
+
+    def full_scores(self) -> np.ndarray:
+        with no_grad():
+            user_repr, item_repr = self.representations()
+            pos = self.decoder_pos(user_repr).data @ item_repr.data.T
+            neg = self.decoder_neg(user_repr).data @ item_repr.data.T
+        return pos - neg

@@ -1,0 +1,136 @@
+"""Graph-convolutional backbone (NGCF-style, with a LightGCN option).
+
+The paper's Table II deploys every criterion on "the basic GCN framework
+that learns representations from high-order connectivities referring to
+NGCF".  We implement that propagation over the symmetric-normalized
+bipartite interaction graph ``Â``:
+
+    E^(l+1) = LeakyReLU( Â E^(l) W1^(l) + (Â E^(l)) ⊙ E^(l) W2^(l) )
+
+with the final representation the concatenation of all layer outputs
+(NGCF's design), scored by inner product.  ``variant="lightgcn"`` drops
+the weights and nonlinearity and averages the layers instead — the
+simplification of He et al. (2020), included because the paper cites
+LightGCN among the GCN family and it makes a useful ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autodiff import Tensor, functional as F, nn, no_grad
+from ..autodiff.sparse import bipartite_adjacency, normalize_adjacency, sparse_matmul
+from ..utils.rng import ensure_rng
+from .base import Recommender
+
+__all__ = ["GCNRecommender"]
+
+
+class GCNRecommender(Recommender):
+    """NGCF-style graph CF model over the user-item bipartite graph.
+
+    Parameters
+    ----------
+    train_matrix:
+        Binary user × item CSR matrix of *training* interactions; the
+        graph must never see validation/test edges.
+    num_layers:
+        Propagation depth (the paper's "high-order connectivities").
+    variant:
+        ``"ngcf"`` (default) or ``"lightgcn"``.
+    """
+
+    quality_transform = "exp"
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        train_matrix: sp.spmatrix,
+        dim: int = 64,
+        num_layers: int = 2,
+        variant: str = "ngcf",
+        rng: np.random.Generator | int | None = None,
+        init_std: float = 0.1,
+        leaky_slope: float = 0.2,
+    ) -> None:
+        super().__init__(num_users, num_items)
+        if variant not in ("ngcf", "lightgcn"):
+            raise ValueError(f"variant must be 'ngcf' or 'lightgcn', got {variant!r}")
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        if train_matrix.shape != (num_users, num_items):
+            raise ValueError(
+                f"train matrix shape {train_matrix.shape} does not match "
+                f"({num_users}, {num_items})"
+            )
+        rng = ensure_rng(rng)
+        self.dim = dim
+        self.num_layers = num_layers
+        self.variant = variant
+        self.leaky_slope = leaky_slope
+
+        coo = train_matrix.tocoo()
+        adjacency = bipartite_adjacency(
+            num_users, num_items, coo.row.astype(np.int64), coo.col.astype(np.int64)
+        )
+        self._adjacency = normalize_adjacency(adjacency)
+
+        self.user_embedding = nn.Embedding(num_users, dim, rng, std=init_std)
+        self.item_embedding = nn.Embedding(num_items, dim, rng, std=init_std)
+        if variant == "ngcf":
+            self.w1_layers = [nn.Linear(dim, dim, rng, bias=True) for _ in range(num_layers)]
+            self.w2_layers = [nn.Linear(dim, dim, rng, bias=True) for _ in range(num_layers)]
+        else:
+            self.w1_layers = []
+            self.w2_layers = []
+
+    # ------------------------------------------------------------------
+    def representations(self) -> tuple[Tensor, Tensor]:
+        """Propagate and return (user_repr, item_repr) tensors."""
+        embeddings = F.concat(
+            [self.user_embedding.all_rows(), self.item_embedding.all_rows()], axis=0
+        )
+        layer_outputs = [embeddings]
+        current = embeddings
+        for layer in range(self.num_layers):
+            propagated = sparse_matmul(self._adjacency, current)
+            if self.variant == "ngcf":
+                message = self.w1_layers[layer](propagated) + self.w2_layers[layer](
+                    propagated * current
+                )
+                current = message.leaky_relu(self.leaky_slope)
+            else:
+                current = propagated
+            layer_outputs.append(current)
+        if self.variant == "ngcf":
+            final = F.concat(layer_outputs, axis=1)
+        else:
+            stacked = layer_outputs[0]
+            for extra in layer_outputs[1:]:
+                stacked = stacked + extra
+            final = stacked * (1.0 / len(layer_outputs))
+        user_repr = final[np.arange(self.num_users)]
+        item_repr = final[np.arange(self.num_users, self.num_users + self.num_items)]
+        return user_repr, item_repr
+
+    def scores_for_pairs(
+        self,
+        representations: tuple[Tensor, Tensor],
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
+        user_repr, item_repr = representations
+        user_rows = F.gather_rows(user_repr, users)
+        item_rows = F.gather_rows(item_repr, items)
+        return (user_rows * item_rows).sum(axis=1)
+
+    def item_vectors(self, representations, items: np.ndarray) -> Tensor:
+        _, item_repr = representations
+        return F.gather_rows(item_repr, items)
+
+    def full_scores(self) -> np.ndarray:
+        with no_grad():
+            user_repr, item_repr = self.representations()
+        return user_repr.data @ item_repr.data.T

@@ -1,0 +1,62 @@
+"""Matrix-factorization backbone.
+
+The paper's "basic MF implementation" (Table III): user and item
+embeddings scored by inner product, exactly the relevance model of BPR-MF
+(Rendle et al. 2012).  The LkP quality of Eq. 13, ``exp(e_u · e_i)``, is
+obtained by the criterion applying the ``"exp"`` transform to these raw
+scores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autodiff import Tensor, functional as F, nn, no_grad
+from ..utils.rng import ensure_rng
+from .base import Recommender
+
+__all__ = ["MFRecommender"]
+
+
+class MFRecommender(Recommender):
+    """Plain inner-product matrix factorization."""
+
+    quality_transform = "exp"
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        dim: int = 64,
+        rng: np.random.Generator | int | None = None,
+        init_std: float = 0.1,
+    ) -> None:
+        super().__init__(num_users, num_items)
+        rng = ensure_rng(rng)
+        if dim < 1:
+            raise ValueError(f"embedding dim must be positive, got {dim}")
+        self.dim = dim
+        self.user_embedding = nn.Embedding(num_users, dim, rng, std=init_std)
+        self.item_embedding = nn.Embedding(num_items, dim, rng, std=init_std)
+
+    def representations(self) -> tuple[Tensor, Tensor]:
+        return self.user_embedding.all_rows(), self.item_embedding.all_rows()
+
+    def scores_for_pairs(
+        self,
+        representations: tuple[Tensor, Tensor],
+        users: np.ndarray,
+        items: np.ndarray,
+    ) -> Tensor:
+        user_table, item_table = representations
+        user_rows = F.gather_rows(user_table, users)
+        item_rows = F.gather_rows(item_table, items)
+        return (user_rows * item_rows).sum(axis=1)
+
+    def item_vectors(self, representations, items: np.ndarray) -> Tensor:
+        _, item_table = representations
+        return F.gather_rows(item_table, items)
+
+    def full_scores(self) -> np.ndarray:
+        with no_grad():
+            return self.user_embedding.weight.data @ self.item_embedding.weight.data.T

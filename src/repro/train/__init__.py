@@ -1,0 +1,21 @@
+"""``repro.train`` — the generic training harness.
+
+* :class:`~repro.train.config.TrainConfig` — run hyper-parameters;
+* :class:`~repro.train.trainer.Trainer` — Adam loop with per-epoch
+  resampling, validation-based selection and epochs-to-best tracking;
+* :func:`~repro.train.grid.grid_search` — the paper's validation-set
+  hyper-parameter tuning protocol.
+"""
+
+from .config import TrainConfig
+from .grid import GridPoint, grid_search
+from .trainer import EpochRecord, Trainer, TrainResult
+
+__all__ = [
+    "TrainConfig",
+    "Trainer",
+    "TrainResult",
+    "EpochRecord",
+    "GridPoint",
+    "grid_search",
+]

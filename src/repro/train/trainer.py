@@ -1,0 +1,142 @@
+"""Generic trainer: any criterion × any backbone × any split.
+
+Implements the paper's training loop discipline: Adam, per-epoch
+re-sampling of training instances (fresh negatives each epoch),
+validation-based model selection, and tracking of the epoch at which the
+best validation score was reached (the "epochs to best" statistic plotted
+in Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..autodiff import optim
+from ..data.interactions import DatasetSplit
+from ..eval.evaluate import EvalResult, evaluate_model
+from ..losses.base import Criterion
+from ..models.base import Recommender
+from ..utils.rng import ensure_rng
+from .config import TrainConfig
+
+__all__ = ["EpochRecord", "TrainResult", "Trainer"]
+
+
+@dataclass
+class EpochRecord:
+    """One epoch's training loss and (optional) validation snapshot."""
+
+    epoch: int
+    train_loss: float
+    val_metrics: dict[str, float] | None = None
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    history: list[EpochRecord] = field(default_factory=list)
+    best_epoch: int = 0
+    best_value: float = -np.inf
+    epochs_run: int = 0
+    monitor: str = "Nd@5"
+
+    @property
+    def epochs_to_best(self) -> int:
+        """The Figure 2 statistic: epochs needed to reach peak validation."""
+        return self.best_epoch
+
+    def losses(self) -> list[float]:
+        return [record.train_loss for record in self.history]
+
+
+class Trainer:
+    """Trains a :class:`Recommender` with a :class:`Criterion` on a split."""
+
+    def __init__(
+        self,
+        model: Recommender,
+        criterion: Criterion,
+        split: DatasetSplit,
+        config: TrainConfig | None = None,
+        epoch_callback: Callable[[int, Recommender], None] | None = None,
+    ) -> None:
+        self.model = model
+        self.criterion = criterion
+        self.split = split
+        self.config = config or TrainConfig()
+        self.sampler = criterion.make_sampler(split)
+        self.epoch_callback = epoch_callback
+
+    def fit(self) -> TrainResult:
+        config = self.config
+        rng = ensure_rng(config.seed)
+        optimizer = optim.Adam(
+            self.model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+        )
+        result = TrainResult(monitor=config.monitor)
+        best_state: dict[str, np.ndarray] | None = None
+        stale_validations = 0
+
+        if self.epoch_callback is not None:
+            # Epoch-0 snapshot (Figure 4 plots probabilities before training).
+            self.epoch_callback(0, self.model)
+
+        for epoch in range(1, config.epochs + 1):
+            instances = self.sampler.instances(rng)
+            order = rng.permutation(len(instances))
+            epoch_loss = 0.0
+            batches = 0
+            self.model.train()
+            for start in range(0, len(order), config.batch_size):
+                batch = [instances[i] for i in order[start : start + config.batch_size]]
+                representations = self.model.representations()
+                loss = self.criterion.batch_loss(self.model, representations, batch)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                batches += 1
+            record = EpochRecord(epoch=epoch, train_loss=epoch_loss / max(batches, 1))
+
+            if epoch % config.eval_every == 0:
+                self.model.eval()
+                snapshot = evaluate_model(
+                    self.model, self.split, cutoffs=config.cutoffs, target="val"
+                )
+                record.val_metrics = snapshot.metrics
+                value = snapshot.metrics[config.monitor]
+                if config.verbose:
+                    print(
+                        f"[{self.criterion.name}] epoch {epoch:>3}  "
+                        f"loss {record.train_loss:.4f}  "
+                        f"{config.monitor} {value:.4f}"
+                    )
+                if value > result.best_value:
+                    result.best_value = value
+                    result.best_epoch = epoch
+                    best_state = self.model.state_dict()
+                    stale_validations = 0
+                else:
+                    stale_validations += 1
+
+            result.history.append(record)
+            result.epochs_run = epoch
+            if self.epoch_callback is not None:
+                self.epoch_callback(epoch, self.model)
+            if config.patience and stale_validations >= config.patience:
+                break
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return result
+
+    def evaluate(self, target: str = "test") -> EvalResult:
+        """Evaluate the (best) model on the requested target."""
+        return evaluate_model(
+            self.model, self.split, cutoffs=self.config.cutoffs, target=target
+        )

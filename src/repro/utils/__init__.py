@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic RNG handling, top-k selection, timing."""
+
+from .rng import ensure_rng, seeded_children, spawn
+from .timing import Stopwatch, timed
+from .topk import rank_of_items, top_k_indices
+
+__all__ = [
+    "ensure_rng",
+    "spawn",
+    "seeded_children",
+    "top_k_indices",
+    "rank_of_items",
+    "Stopwatch",
+    "timed",
+]

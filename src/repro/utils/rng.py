@@ -1,0 +1,35 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library takes an explicit
+:class:`numpy.random.Generator`.  These helpers spawn independent,
+reproducible child generators for the different subsystems of an
+experiment (data generation, sampling, model init, training shuffles) so
+that changing one subsystem's consumption pattern does not perturb the
+others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "spawn", "seeded_children"]
+
+
+def ensure_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Coerce None / seed / Generator into a Generator."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators."""
+    return [np.random.default_rng(seed) for seed in rng.integers(0, 2**63 - 1, size=count)]
+
+
+def seeded_children(seed: int, names: list[str]) -> dict[str, np.random.Generator]:
+    """Named child generators from a single experiment seed."""
+    root = np.random.default_rng(seed)
+    return dict(zip(names, spawn(root, len(names))))

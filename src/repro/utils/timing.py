@@ -1,0 +1,40 @@
+"""Tiny wall-clock timing utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Stopwatch", "timed"]
+
+
+class Stopwatch:
+    """Accumulates elapsed time across start/stop cycles."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: float | None = None
+
+    def start(self) -> "Stopwatch":
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+        return self.elapsed
+
+
+@contextmanager
+def timed():
+    """``with timed() as t: ...`` — ``t.elapsed`` holds the duration after."""
+    watch = Stopwatch().start()
+    try:
+        yield watch
+    finally:
+        if watch._started is not None:
+            watch.stop()

@@ -1,0 +1,39 @@
+"""Top-k selection helpers for ranking evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_indices", "rank_of_items"]
+
+
+def top_k_indices(scores: np.ndarray, k: int, exclude: np.ndarray | None = None) -> np.ndarray:
+    """Indices of the k highest scores, in descending score order.
+
+    Parameters
+    ----------
+    scores:
+        1-D score vector over the catalog.
+    k:
+        List length; truncated to the number of rankable items.
+    exclude:
+        Item ids never to recommend (the user's training/validation
+        interactions, per standard leave-out evaluation).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if exclude is not None and len(exclude) > 0:
+        scores = scores.copy()
+        scores[np.asarray(exclude, dtype=np.int64)] = -np.inf
+    k = min(k, int(np.isfinite(scores).sum()))
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    candidates = np.argpartition(-scores, k - 1)[:k]
+    return candidates[np.argsort(-scores[candidates], kind="stable")]
+
+
+def rank_of_items(scores: np.ndarray, items: np.ndarray) -> np.ndarray:
+    """0-based rank of each item under descending ``scores``."""
+    order = np.argsort(-scores, kind="stable")
+    positions = np.empty_like(order)
+    positions[order] = np.arange(order.shape[0])
+    return positions[np.asarray(items, dtype=np.int64)]

@@ -1,0 +1,190 @@
+"""Unit tests for the composite / linear-algebra autodiff ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor, check_gradient, functional as F
+
+
+def _psd(rng, n, ridge=0.3):
+    x = rng.normal(size=(n, n))
+    return x @ x.T + ridge * np.eye(n)
+
+
+def test_concat_forward_and_backward():
+    a = Tensor(np.ones((2, 3)), requires_grad=True)
+    b = Tensor(2 * np.ones((4, 3)), requires_grad=True)
+    out = F.concat([a, b], axis=0)
+    assert out.shape == (6, 3)
+    (out * Tensor(np.arange(18.0).reshape(6, 3))).sum().backward()
+    assert a.grad.shape == (2, 3)
+    assert b.grad.shape == (4, 3)
+    assert np.allclose(a.grad, np.arange(6.0).reshape(2, 3))
+
+
+def test_concat_axis1():
+    a = Tensor(np.ones((2, 2)), requires_grad=True)
+    b = Tensor(np.ones((2, 5)), requires_grad=True)
+    out = F.concat([a, b], axis=1)
+    assert out.shape == (2, 7)
+    out.sum().backward()
+    assert np.allclose(a.grad, 1.0) and np.allclose(b.grad, 1.0)
+
+
+def test_stack_forward_backward():
+    a = Tensor(np.ones(3), requires_grad=True)
+    b = Tensor(2 * np.ones(3), requires_grad=True)
+    out = F.stack([a, b], axis=0)
+    assert out.shape == (2, 3)
+    (out[1] * 5.0).sum().backward()
+    assert np.allclose(a.grad, 0.0)
+    assert np.allclose(b.grad, 5.0)
+
+
+def test_gather_rows_repeated_indices_accumulate():
+    table = Tensor(np.arange(12.0).reshape(4, 3), requires_grad=True)
+    rows = F.gather_rows(table, np.array([1, 1, 2]))
+    assert rows.shape == (3, 3)
+    rows.sum().backward()
+    assert np.allclose(table.grad[1], 2.0)
+    assert np.allclose(table.grad[2], 1.0)
+    assert np.allclose(table.grad[0], 0.0)
+
+
+def test_diag_embed():
+    v = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+    m = F.diag_embed(v)
+    assert np.allclose(m.data, np.diag([1.0, 2.0, 3.0]))
+    (m * Tensor(np.ones((3, 3)) * 2)).sum().backward()
+    assert np.allclose(v.grad, 2.0)
+
+
+def test_diag_embed_rejects_matrix():
+    with pytest.raises(ValueError):
+        F.diag_embed(Tensor(np.ones((2, 2))))
+
+
+def test_trace_value_and_gradient():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(4, 4))
+    assert np.isclose(F.trace(Tensor(a)).item(), np.trace(a))
+    check_gradient(lambda x: F.trace(x @ x), a)
+
+
+def test_matrix_inverse_gradient():
+    rng = np.random.default_rng(1)
+    a = _psd(rng, 3)
+    assert np.allclose(F.matrix_inverse(Tensor(a)).data, np.linalg.inv(a))
+    check_gradient(
+        lambda x: F.matrix_inverse(x @ x.transpose() + Tensor(0.5 * np.eye(3))).sum(),
+        rng.normal(size=(3, 3)),
+        rtol=1e-3,
+    )
+
+
+def test_slogdet_matches_numpy():
+    rng = np.random.default_rng(2)
+    a = _psd(rng, 4)
+    sign, logdet = F.slogdet(Tensor(a))
+    ref_sign, ref_logdet = np.linalg.slogdet(a)
+    assert sign == ref_sign
+    assert np.isclose(logdet.item(), ref_logdet)
+
+
+def test_logdet_psd_value_and_gradient():
+    rng = np.random.default_rng(3)
+    a = _psd(rng, 5)
+    assert np.isclose(F.logdet_psd(Tensor(a)).item(), np.linalg.slogdet(a)[1], rtol=1e-8)
+    check_gradient(
+        lambda x: F.logdet_psd(x @ x.transpose() + Tensor(0.5 * np.eye(4))),
+        rng.normal(size=(4, 4)),
+        rtol=1e-3,
+    )
+
+
+def test_logdet_psd_rejects_indefinite():
+    bad = np.diag([1.0, -1.0])
+    with pytest.raises(np.linalg.LinAlgError):
+        F.logdet_psd(Tensor(bad))
+
+
+def test_power_sum_traces():
+    rng = np.random.default_rng(4)
+    a = _psd(rng, 4)
+    traces = F.power_sum_traces(Tensor(a), 3)
+    eig = np.linalg.eigvalsh(a)
+    for i, t in enumerate(traces, start=1):
+        assert np.isclose(t.item(), (eig**i).sum(), rtol=1e-9)
+
+
+def test_logsumexp_matches_scipy_convention():
+    x = np.array([[1.0, 2.0, 3.0], [-1.0, 0.0, 1.0]])
+    out = F.logsumexp(Tensor(x), axis=1)
+    ref = np.log(np.exp(x).sum(axis=1))
+    assert np.allclose(out.data, ref)
+
+
+def test_logsumexp_extreme_values_stable():
+    x = np.array([1000.0, 1000.0])
+    out = F.logsumexp(Tensor(x), axis=0)
+    assert np.isclose(out.item(), 1000.0 + np.log(2.0))
+
+
+def test_softmax_rows_sum_to_one():
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(4, 7)) * 5
+    probs = F.softmax(Tensor(x), axis=1)
+    assert np.allclose(probs.data.sum(axis=1), 1.0)
+    assert (probs.data >= 0).all()
+
+
+def test_log_softmax_gradient():
+    rng = np.random.default_rng(6)
+    check_gradient(
+        lambda x: F.log_softmax(x, axis=1)[np.arange(3), np.zeros(3, dtype=np.int64)].sum(),
+        rng.normal(size=(3, 5)),
+    )
+
+
+def test_softplus_and_log_sigmoid():
+    x = np.array([-30.0, -1.0, 0.0, 1.0, 30.0])
+    sp = F.softplus(Tensor(x)).data
+    assert np.allclose(sp, np.logaddexp(0, x), atol=1e-9)
+    ls = F.log_sigmoid(Tensor(x)).data
+    assert np.allclose(ls, -np.logaddexp(0, -x), atol=1e-9)
+    check_gradient(lambda t: F.log_sigmoid(t).sum(), np.array([-2.0, 0.3, 4.0]))
+
+
+def test_bce_with_logits_matches_manual():
+    logits = np.array([0.5, -1.0, 2.0])
+    targets = np.array([1.0, 0.0, 1.0])
+    loss = F.binary_cross_entropy_with_logits(Tensor(logits), targets)
+    p = 1 / (1 + np.exp(-logits))
+    manual = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+    assert np.isclose(loss.item(), manual)
+    check_gradient(
+        lambda t: F.binary_cross_entropy_with_logits(t, targets), logits
+    )
+
+
+def test_dropout_train_and_eval():
+    rng = np.random.default_rng(7)
+    x = Tensor(np.ones(1000))
+    dropped = F.dropout(x, 0.5, rng, training=True)
+    # Inverted dropout preserves the mean.
+    assert abs(dropped.data.mean() - 1.0) < 0.15
+    assert set(np.unique(dropped.data)) <= {0.0, 2.0}
+    same = F.dropout(x, 0.5, rng, training=False)
+    assert np.allclose(same.data, 1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6), st.integers(0, 2**32 - 1))
+def test_logdet_gradient_is_inverse(n, seed):
+    rng = np.random.default_rng(seed)
+    a = _psd(rng, n)
+    t = Tensor(a, requires_grad=True)
+    F.logdet_psd(t).backward()
+    assert np.allclose(t.grad, np.linalg.inv(a + 1e-10 * np.eye(n)), rtol=1e-6, atol=1e-8)

@@ -1,0 +1,198 @@
+"""Unit tests for the layer library and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, functional as F, nn, optim
+
+
+def test_module_discovers_parameters_recursively():
+    rng = np.random.default_rng(0)
+
+    class Net(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.linear = nn.Linear(3, 4, rng)
+            self.towers = [nn.Linear(4, 2, rng), nn.Linear(2, 1, rng)]
+            self.free = nn.Parameter(np.zeros(5))
+
+    net = Net()
+    params = list(net.parameters())
+    # linear(W+b) + 2 towers (W+b each) + free = 7
+    assert len(params) == 7
+    names = dict(net.named_parameters())
+    assert "linear.weight" in names
+    assert "towers.0.bias" in names
+    assert "free" in names
+
+
+def test_parameters_deduplicated_when_shared():
+    rng = np.random.default_rng(0)
+
+    class Tied(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.a = nn.Linear(2, 2, rng)
+            self.b = self.a  # shared module
+
+    assert len(list(Tied().parameters())) == 2
+
+
+def test_linear_forward_shape_and_bias():
+    rng = np.random.default_rng(1)
+    layer = nn.Linear(4, 3, rng)
+    out = layer(Tensor(np.ones((5, 4))))
+    assert out.shape == (5, 3)
+    no_bias = nn.Linear(4, 3, rng, bias=False)
+    assert no_bias.bias is None
+
+
+def test_embedding_lookup_and_bounds():
+    rng = np.random.default_rng(2)
+    emb = nn.Embedding(10, 4, rng)
+    rows = emb(np.array([0, 3, 3]))
+    assert rows.shape == (3, 4)
+    assert np.allclose(rows.data[1], rows.data[2])
+    with pytest.raises(IndexError):
+        emb(np.array([10]))
+    with pytest.raises(IndexError):
+        emb(np.array([-1]))
+
+
+def test_embedding_gradient_flows_to_rows():
+    rng = np.random.default_rng(3)
+    emb = nn.Embedding(6, 3, rng)
+    out = emb(np.array([2, 2, 4])).sum()
+    out.backward()
+    grad = emb.weight.grad
+    assert np.allclose(grad[2], 2.0)
+    assert np.allclose(grad[4], 1.0)
+    assert np.allclose(grad[0], 0.0)
+
+
+def test_mlp_shapes_and_depth():
+    rng = np.random.default_rng(4)
+    mlp = nn.MLP([8, 4, 2], rng)
+    out = mlp(Tensor(np.ones((3, 8))))
+    assert out.shape == (3, 2)
+    with pytest.raises(ValueError):
+        nn.MLP([8], rng)
+
+
+def test_dropout_mode_switch():
+    rng = np.random.default_rng(5)
+    layer = nn.Dropout(0.5, rng)
+    x = Tensor(np.ones(200))
+    layer.train()
+    assert (layer(x).data == 0).any()
+    layer.eval()
+    assert np.allclose(layer(x).data, 1.0)
+    with pytest.raises(ValueError):
+        nn.Dropout(1.0, rng)
+
+
+def test_sequential_composition():
+    rng = np.random.default_rng(6)
+    seq = nn.Sequential(nn.Linear(3, 3, rng), F.relu, nn.Linear(3, 1, rng))
+    out = seq(Tensor(np.ones((2, 3))))
+    assert out.shape == (2, 1)
+
+
+def test_train_eval_propagates_to_children():
+    rng = np.random.default_rng(7)
+
+    class Net(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.drop = nn.Dropout(0.3, rng)
+            self.stack = [nn.Dropout(0.3, rng)]
+
+    net = Net()
+    net.eval()
+    assert not net.drop.training
+    assert not net.stack[0].training
+    net.train()
+    assert net.drop.training
+
+
+def test_state_dict_roundtrip_and_validation():
+    rng = np.random.default_rng(8)
+    layer = nn.Linear(3, 2, rng)
+    state = layer.state_dict()
+    layer.weight.data[:] = 0.0
+    layer.load_state_dict(state)
+    assert not np.allclose(layer.weight.data, 0.0)
+    with pytest.raises(KeyError):
+        layer.load_state_dict({"weight": state["weight"]})  # missing bias
+    bad = dict(state)
+    bad["weight"] = np.zeros((5, 5))
+    with pytest.raises(ValueError):
+        layer.load_state_dict(bad)
+
+
+def _quadratic_problem():
+    target = np.array([3.0, -2.0])
+    p = nn.Parameter(np.zeros(2))
+
+    def loss_fn():
+        diff = p - Tensor(target)
+        return (diff * diff).sum()
+
+    return p, loss_fn, target
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda params: optim.SGD(params, lr=0.1),
+        lambda params: optim.SGD(params, lr=0.05, momentum=0.9),
+        lambda params: optim.Adam(params, lr=0.2),
+        lambda params: optim.AdaGrad(params, lr=0.9),
+    ],
+)
+def test_optimizers_minimize_quadratic(factory):
+    p, loss_fn, target = _quadratic_problem()
+    opt = factory([p])
+    for _ in range(200):
+        loss = loss_fn()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    assert np.allclose(p.data, target, atol=0.05)
+
+
+def test_weight_decay_shrinks_solution():
+    p1, loss1, target = _quadratic_problem()
+    p2, loss2, _ = _quadratic_problem()
+    for p, loss_fn, wd in ((p1, loss1, 0.0), (p2, loss2, 1.0)):
+        opt = optim.Adam([p], lr=0.2, weight_decay=wd)
+        for _ in range(300):
+            loss = loss_fn()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+    assert np.linalg.norm(p2.data) < np.linalg.norm(p1.data)
+
+
+def test_optimizer_validation():
+    p = nn.Parameter(np.zeros(2))
+    with pytest.raises(ValueError):
+        optim.SGD([], lr=0.1)
+    with pytest.raises(ValueError):
+        optim.SGD([p], lr=-1.0)
+    with pytest.raises(ValueError):
+        optim.SGD([p], lr=0.1, momentum=1.5)
+    with pytest.raises(ValueError):
+        optim.Adam([p], lr=0.1, betas=(1.0, 0.9))
+    with pytest.raises(ValueError):
+        optim.Adam([p], lr=0.1, weight_decay=-0.1)
+
+
+def test_step_skips_parameters_without_grad():
+    p = nn.Parameter(np.ones(2))
+    q = nn.Parameter(np.ones(2))
+    opt = optim.Adam([p, q], lr=0.5)
+    (p.sum() * 2.0).backward()
+    opt.step()
+    assert not np.allclose(p.data, 1.0)
+    assert np.allclose(q.data, 1.0)

@@ -1,0 +1,62 @@
+"""Unit tests for sparse graph operations."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autodiff import Tensor
+from repro.autodiff.sparse import (
+    bipartite_adjacency,
+    normalize_adjacency,
+    sparse_matmul,
+)
+
+
+def test_sparse_matmul_matches_dense():
+    rng = np.random.default_rng(0)
+    dense = rng.random((5, 4))
+    adjacency = sp.random(6, 5, density=0.4, random_state=0, format="csr")
+    out = sparse_matmul(adjacency, Tensor(dense))
+    assert np.allclose(out.data, adjacency @ dense)
+
+
+def test_sparse_matmul_backward_is_transpose():
+    rng = np.random.default_rng(1)
+    adjacency = sp.random(6, 5, density=0.5, random_state=1, format="csr")
+    x = Tensor(rng.normal(size=(5, 3)), requires_grad=True)
+    weights = rng.normal(size=(6, 3))
+    (sparse_matmul(adjacency, x) * Tensor(weights)).sum().backward()
+    assert np.allclose(x.grad, adjacency.T @ weights)
+
+
+def test_bipartite_adjacency_structure():
+    users = np.array([0, 1, 2])
+    items = np.array([0, 0, 1])
+    a = bipartite_adjacency(3, 2, users, items).toarray()
+    assert a.shape == (5, 5)
+    # Symmetric, zero diagonal blocks.
+    assert np.allclose(a, a.T)
+    assert np.allclose(a[:3, :3], 0)
+    assert np.allclose(a[3:, 3:], 0)
+    assert a[0, 3] == 1 and a[1, 3] == 1 and a[2, 4] == 1
+
+
+def test_normalize_adjacency_rows():
+    users = np.array([0, 0, 1])
+    items = np.array([0, 1, 0])
+    a = bipartite_adjacency(2, 2, users, items)
+    normalized = normalize_adjacency(a).toarray()
+    # D^{-1/2} A D^{-1/2}: entry (u0, i0) = 1/sqrt(deg(u0) * deg(i0)).
+    assert np.isclose(normalized[0, 2], 1 / np.sqrt(2 * 2))
+    assert np.isclose(normalized[0, 3], 1 / np.sqrt(2 * 1))
+
+
+def test_normalize_handles_isolated_nodes():
+    a = sp.csr_matrix((4, 4))
+    normalized = normalize_adjacency(a)
+    assert np.allclose(normalized.toarray(), 0.0)
+
+
+def test_normalize_with_self_loops():
+    a = sp.csr_matrix((2, 2))
+    normalized = normalize_adjacency(a, add_self_loops=True).toarray()
+    assert np.allclose(normalized, np.eye(2))

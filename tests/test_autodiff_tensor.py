@@ -1,0 +1,274 @@
+"""Unit tests for the reverse-mode Tensor engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor, check_gradient, no_grad
+from repro.autodiff.tensor import _unbroadcast
+
+
+def test_tensor_wraps_data_as_float64():
+    t = Tensor([[1, 2], [3, 4]])
+    assert t.data.dtype == np.float64
+    assert t.shape == (2, 2)
+    assert t.ndim == 2
+    assert t.size == 4
+
+
+def test_item_requires_scalar():
+    assert Tensor(3.5).item() == 3.5
+    assert Tensor([2.5]).item() == 2.5  # size-1 vectors convert too
+    with pytest.raises(ValueError):
+        Tensor([1.0, 2.0]).item()  # ndarray.item() rejects size > 1
+
+
+def test_backward_requires_scalar_without_grad():
+    t = Tensor([1.0, 2.0], requires_grad=True)
+    with pytest.raises(ValueError, match="scalar"):
+        (t * 2).backward()
+
+
+def test_add_backward_accumulates_both_parents():
+    a = Tensor(2.0, requires_grad=True)
+    b = Tensor(3.0, requires_grad=True)
+    (a + b).backward()
+    assert a.grad == 1.0 and b.grad == 1.0
+
+
+def test_fanout_gradients_sum():
+    a = Tensor(3.0, requires_grad=True)
+    out = a * a + a * 2.0  # d/da = 2a + 2 = 8
+    out.backward()
+    assert np.isclose(a.grad, 8.0)
+
+
+def test_mul_gradient():
+    a = Tensor([1.0, 2.0], requires_grad=True)
+    b = Tensor([3.0, 4.0], requires_grad=True)
+    (a * b).sum().backward()
+    assert np.allclose(a.grad, [3.0, 4.0])
+    assert np.allclose(b.grad, [1.0, 2.0])
+
+
+def test_division_gradients():
+    check_gradient(lambda x: (x / 3.0).sum(), np.array([1.0, -2.0, 0.5]))
+    check_gradient(lambda x: (6.0 / (x + 5.0)).sum(), np.array([1.0, -2.0, 0.5]))
+
+
+def test_pow_gradient():
+    check_gradient(lambda x: (x**3).sum(), np.array([1.0, 2.0, -1.5]))
+
+
+def test_pow_rejects_tensor_exponent():
+    with pytest.raises(TypeError):
+        Tensor(2.0) ** Tensor(3.0)
+
+
+def test_neg_and_sub():
+    a = Tensor(5.0, requires_grad=True)
+    b = Tensor(2.0, requires_grad=True)
+    (a - b).backward()
+    assert a.grad == 1.0 and b.grad == -1.0
+    a.zero_grad()
+    (-a).backward()
+    assert a.grad == -1.0
+
+
+def test_rsub_and_radd():
+    a = Tensor(2.0, requires_grad=True)
+    (10.0 - a).backward()
+    assert a.grad == -1.0
+    a.zero_grad()
+    (1.0 + a).backward()
+    assert a.grad == 1.0
+
+
+def test_broadcasting_add_unbroadcasts_gradient():
+    a = Tensor(np.ones((3, 4)), requires_grad=True)
+    b = Tensor(np.ones(4), requires_grad=True)
+    (a + b).sum().backward()
+    assert a.grad.shape == (3, 4)
+    assert b.grad.shape == (4,)
+    assert np.allclose(b.grad, 3.0)
+
+
+def test_broadcasting_keepdim_axis():
+    a = Tensor(np.ones((3, 1)), requires_grad=True)
+    b = Tensor(np.ones((3, 5)), requires_grad=True)
+    (a * b).sum().backward()
+    assert a.grad.shape == (3, 1)
+    assert np.allclose(a.grad, 5.0)
+
+
+def test_unbroadcast_helper():
+    grad = np.ones((2, 3, 4))
+    assert _unbroadcast(grad, (3, 4)).shape == (3, 4)
+    assert _unbroadcast(grad, (1, 4)).shape == (1, 4)
+    assert np.allclose(_unbroadcast(grad, (1, 4)), 6.0)
+
+
+def test_matmul_matrix_matrix_gradient():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(3, 4))
+    b = rng.normal(size=(4, 2))
+    check_gradient(lambda x: (x @ Tensor(b)).sum(), a)
+    check_gradient(lambda x: (Tensor(a) @ x).sum(), b)
+
+
+def test_matmul_vector_cases():
+    rng = np.random.default_rng(1)
+    m = rng.normal(size=(3, 3))
+    v = rng.normal(size=3)
+    w = rng.normal(size=3)  # independent constant (avoid aliasing with v)
+    check_gradient(lambda x: (x @ Tensor(m)).sum(), v)
+    check_gradient(lambda x: (Tensor(m) @ x).sum(), v)
+    check_gradient(lambda x: x @ Tensor(w.copy()), v)  # inner product
+
+
+def test_sum_axis_and_keepdims():
+    a = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+    out = a.sum(axis=0)
+    assert out.shape == (4,)
+    out.sum().backward()
+    assert np.allclose(a.grad, 1.0)
+    b = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+    kept = b.sum(axis=1, keepdims=True)
+    assert kept.shape == (3, 1)
+
+
+def test_mean_gradient_scaling():
+    a = Tensor(np.ones((2, 5)), requires_grad=True)
+    a.mean().backward()
+    assert np.allclose(a.grad, 0.1)
+
+
+def test_mean_axis():
+    a = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+    m = a.mean(axis=1)
+    assert np.allclose(m.data, [1.0, 4.0])
+    m.sum().backward()
+    assert np.allclose(a.grad, 1.0 / 3.0)
+
+
+@pytest.mark.parametrize(
+    "fn",
+    [
+        lambda x: x.exp().sum(),
+        lambda x: (x + 5.0).log().sum(),
+        lambda x: x.sigmoid().sum(),
+        lambda x: x.tanh().sum(),
+        lambda x: x.sqrt().__add__(0.0).sum() if False else ((x + 5.0).sqrt()).sum(),
+    ],
+)
+def test_elementwise_gradients(fn):
+    check_gradient(fn, np.array([0.5, -0.3, 1.2, 2.0]))
+
+
+def test_relu_and_leaky_relu():
+    x = np.array([-2.0, -0.5, 0.5, 2.0])
+    t = Tensor(x, requires_grad=True)
+    t.relu().sum().backward()
+    assert np.allclose(t.grad, [0, 0, 1, 1])
+    t2 = Tensor(x, requires_grad=True)
+    t2.leaky_relu(0.1).sum().backward()
+    assert np.allclose(t2.grad, [0.1, 0.1, 1, 1])
+
+
+def test_clip_gradient_mask():
+    t = Tensor(np.array([-5.0, 0.0, 5.0]), requires_grad=True)
+    t.clip(-1.0, 1.0).sum().backward()
+    assert np.allclose(t.grad, [0.0, 1.0, 0.0])
+    assert np.allclose(t.clip(-1, 1).data, [-1, 0, 1])
+
+
+def test_abs_gradient():
+    t = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+    t.abs().sum().backward()
+    assert np.allclose(t.grad, [-1.0, 1.0])
+
+
+def test_reshape_roundtrip_gradient():
+    a = Tensor(np.arange(6.0), requires_grad=True)
+    a.reshape(2, 3).sum().backward()
+    assert a.grad.shape == (6,)
+    assert np.allclose(a.grad, 1.0)
+
+
+def test_reshape_accepts_tuple():
+    a = Tensor(np.arange(6.0))
+    assert a.reshape((3, 2)).shape == (3, 2)
+
+
+def test_transpose_gradient():
+    rng = np.random.default_rng(2)
+    constant = Tensor(rng.normal(size=(4, 3)))
+    check_gradient(lambda x: (x.transpose() * constant).sum(), rng.normal(size=(3, 4)))
+
+
+def test_transpose_with_axes():
+    a = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+    out = a.transpose((2, 0, 1))
+    assert out.shape == (4, 2, 3)
+    out.sum().backward()
+    assert a.grad.shape == (2, 3, 4)
+
+
+def test_getitem_scatter_add_with_repeats():
+    a = Tensor(np.arange(5.0), requires_grad=True)
+    idx = np.array([0, 0, 3])
+    a[idx].sum().backward()
+    assert np.allclose(a.grad, [2, 0, 0, 1, 0])
+
+
+def test_getitem_slice():
+    a = Tensor(np.arange(6.0), requires_grad=True)
+    a[2:5].sum().backward()
+    assert np.allclose(a.grad, [0, 0, 1, 1, 1, 0])
+
+
+def test_no_grad_blocks_graph():
+    a = Tensor(2.0, requires_grad=True)
+    with no_grad():
+        out = a * 3.0
+    assert not out.requires_grad
+    assert out._parents == ()
+
+
+def test_detach_cuts_graph():
+    a = Tensor(2.0, requires_grad=True)
+    b = a.detach() * 3.0
+    assert not b.requires_grad
+
+
+def test_deep_graph_no_recursion_error():
+    # The iterative topological sort must handle graphs deeper than the
+    # Python recursion limit.
+    t = Tensor(1.0, requires_grad=True)
+    out = t
+    for _ in range(3000):
+        out = out + 1.0
+    out.backward()
+    assert t.grad == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(-3, 3), min_size=2, max_size=6),
+    st.lists(st.floats(-3, 3), min_size=2, max_size=6),
+)
+def test_add_mul_match_numpy(xs, ys):
+    n = min(len(xs), len(ys))
+    a, b = np.array(xs[:n]), np.array(ys[:n])
+    assert np.allclose((Tensor(a) + Tensor(b)).data, a + b)
+    assert np.allclose((Tensor(a) * Tensor(b)).data, a * b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 5), st.integers(2, 5), st.integers(0, 2**32 - 1))
+def test_matmul_gradient_property(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(rows, cols))
+    w = rng.normal(size=(cols, rows))
+    check_gradient(lambda x: ((x @ Tensor(w)) * (x @ Tensor(w))).sum(), a, rtol=1e-3, atol=1e-5)

@@ -1,0 +1,100 @@
+"""Tests for diversity-pair mining (Eq. 3 training data)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    greedy_diverse_subset,
+    mine_diversity_pairs,
+    monotonous_subset,
+    movielens_like,
+)
+
+
+def _categories():
+    return [
+        frozenset({0}),
+        frozenset({1}),
+        frozenset({2}),
+        frozenset({0, 1}),
+        frozenset({0}),
+        frozenset({0}),
+    ]
+
+
+def test_greedy_diverse_subset_maximizes_coverage():
+    categories = _categories()
+    items = np.arange(6)
+    chosen = greedy_diverse_subset(items, categories, 3)
+    covered = set().union(*(categories[i] for i in chosen))
+    assert covered == {0, 1, 2}
+
+
+def test_greedy_diverse_subset_size_validation():
+    with pytest.raises(ValueError):
+        greedy_diverse_subset(np.arange(2), _categories()[:2], 3)
+
+
+def test_monotonous_subset_low_coverage():
+    categories = _categories()
+    items = np.arange(6)
+    chosen = monotonous_subset(items, categories, 3)
+    covered = set().union(*(categories[int(i)] for i in chosen))
+    diverse = greedy_diverse_subset(items, categories, 3)
+    diverse_covered = set().union(*(categories[int(i)] for i in diverse))
+    assert len(covered) <= len(diverse_covered)
+
+
+def test_monotonous_subset_randomized_varies():
+    categories = [frozenset({i % 3}) for i in range(12)]
+    items = np.arange(12)
+    rng = np.random.default_rng(0)
+    draws = {tuple(sorted(monotonous_subset(items, categories, 3, rng=rng))) for _ in range(20)}
+    assert len(draws) > 1
+
+
+def test_mine_diversity_pairs_structure():
+    ds = movielens_like(scale=0.35).filter_min_interactions(5)
+    split = ds.split(np.random.default_rng(0))
+    for mode in ("negatives", "monotonous"):
+        pairs = mine_diversity_pairs(
+            split, set_size=4, pairs_per_user=2, mode=mode, rng=np.random.default_rng(1)
+        )
+        eligible = split.users_with_min_train(4)
+        assert len(pairs) == 2 * eligible.shape[0]
+        for positive, negative in pairs:
+            assert positive.shape == (4,) and negative.shape == (4,)
+            assert len(set(map(int, positive))) == 4
+
+
+def test_mine_diversity_pairs_negative_mode_uses_unobserved():
+    ds = movielens_like(scale=0.35).filter_min_interactions(5)
+    split = ds.split(np.random.default_rng(0))
+    pairs = mine_diversity_pairs(
+        split, set_size=4, mode="negatives", rng=np.random.default_rng(2)
+    )
+    eligible = list(split.users_with_min_train(4))
+    for (positive, negative), user in zip(pairs, eligible):
+        assert set(map(int, positive)) <= split.train_set(int(user))
+        assert not set(map(int, negative)) & split.known_set(int(user))
+
+
+def test_mine_diversity_pairs_mode_validation():
+    ds = movielens_like(scale=0.35).filter_min_interactions(5)
+    split = ds.split(np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        mine_diversity_pairs(split, mode="bogus")
+
+
+def test_mine_diversity_pairs_positive_sets_are_diverse():
+    ds = movielens_like(scale=0.35).filter_min_interactions(5)
+    split = ds.split(np.random.default_rng(0))
+    pairs = mine_diversity_pairs(
+        split, set_size=4, mode="monotonous", rng=np.random.default_rng(3)
+    )
+    categories = ds.item_categories
+    breadth_pos, breadth_neg = [], []
+    for positive, negative in pairs:
+        breadth_pos.append(len(set().union(*(categories[int(i)] for i in positive))))
+        breadth_neg.append(len(set().union(*(categories[int(i)] for i in negative))))
+    assert np.mean(breadth_pos) > np.mean(breadth_neg)

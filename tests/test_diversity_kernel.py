@@ -1,0 +1,137 @@
+"""Tests for the Eq. 3 diversity-kernel learner."""
+
+import numpy as np
+import pytest
+
+from repro.dpp import (
+    DiversityKernelConfig,
+    DiversityKernelLearner,
+    category_jaccard_kernel,
+)
+
+
+def _toy_category_pairs(num_per_cat=8, num_cats=3, count=150, seed=0):
+    rng = np.random.default_rng(seed)
+    n_items = num_per_cat * num_cats
+    cat = np.repeat(np.arange(num_cats), num_per_cat)
+    pairs = []
+    for _ in range(count):
+        diverse = np.array(
+            [rng.choice(np.where(cat == c)[0]) for c in range(num_cats)]
+        )
+        anchor = rng.integers(num_cats)
+        monotonous = rng.choice(np.where(cat == anchor)[0], size=num_cats, replace=False)
+        pairs.append((diverse, monotonous))
+    return n_items, cat, pairs
+
+
+def test_learner_generalizes_volume_ordering_to_held_out_sets():
+    n_items, cat, pairs = _toy_category_pairs()
+    _, _, held_out = _toy_category_pairs(seed=99, count=100)
+    learner = DiversityKernelLearner(
+        n_items, DiversityKernelConfig(rank=8, epochs=20, lr=0.03, seed=1)
+    )
+    learner.fit(pairs)
+    kernel = learner.kernel()
+
+    def logdet(subset):
+        sub = kernel[np.ix_(subset, subset)] + 1e-9 * np.eye(len(subset))
+        return np.linalg.slogdet(sub)[1]
+
+    gaps = [logdet(tp) - logdet(tn) for tp, tn in held_out]
+    assert np.mean(gaps) > 1.0
+    assert np.mean(np.array(gaps) > 0) > 0.9
+
+
+def test_objective_improves_over_epochs():
+    n_items, _, pairs = _toy_category_pairs(count=60)
+    learner = DiversityKernelLearner(
+        n_items, DiversityKernelConfig(rank=8, epochs=8, lr=0.03, seed=2)
+    )
+    result = learner.fit(pairs)
+    assert result.objective_per_epoch[-1] > result.objective_per_epoch[0]
+
+
+def test_kernel_is_psd_and_unit_diagonal():
+    n_items, _, pairs = _toy_category_pairs(count=40)
+    learner = DiversityKernelLearner(
+        n_items, DiversityKernelConfig(rank=8, epochs=5, seed=3)
+    )
+    learner.fit(pairs)
+    kernel = learner.kernel()
+    assert np.allclose(np.diagonal(kernel), 1.0)
+    assert np.linalg.eigvalsh(kernel).min() > -1e-8
+    raw = learner.kernel(normalize="none")
+    assert raw.shape == kernel.shape
+
+
+def test_kernel_shrink_scales_offdiagonals():
+    n_items, _, pairs = _toy_category_pairs(count=30)
+    learner = DiversityKernelLearner(
+        n_items, DiversityKernelConfig(rank=8, epochs=3, seed=4)
+    )
+    learner.fit(pairs)
+    full = learner.kernel(shrink=0.0)
+    shrunk = learner.kernel(shrink=0.5)
+    off = ~np.eye(n_items, dtype=bool)
+    assert np.allclose(shrunk[off], 0.5 * full[off])
+    assert np.allclose(np.diagonal(shrunk), np.diagonal(full))
+    with pytest.raises(ValueError):
+        learner.kernel(shrink=1.0)
+
+
+def test_submatrix_matches_full_kernel():
+    n_items, _, pairs = _toy_category_pairs(count=30)
+    learner = DiversityKernelLearner(
+        n_items, DiversityKernelConfig(rank=8, epochs=3, seed=5)
+    )
+    learner.fit(pairs)
+    items = np.array([0, 5, 11])
+    assert np.allclose(
+        learner.submatrix(items), learner.kernel()[np.ix_(items, items)]
+    )
+
+
+def test_fit_validation():
+    learner = DiversityKernelLearner(10, DiversityKernelConfig(rank=4))
+    with pytest.raises(ValueError, match="at least one pair"):
+        learner.fit([])
+    too_big = (np.arange(6), np.arange(6))
+    with pytest.raises(ValueError, match="rank"):
+        learner.fit([too_big])
+
+
+def test_kernel_normalize_validation():
+    learner = DiversityKernelLearner(4, DiversityKernelConfig(rank=4))
+    with pytest.raises(ValueError):
+        learner.kernel(normalize="bogus")
+
+
+def test_margin_bounds_collapse():
+    # With the margin, no training-set submatrix should be pushed to
+    # numerical singularity (the failure mode of the raw objective).
+    n_items, _, pairs = _toy_category_pairs(count=80)
+    learner = DiversityKernelLearner(
+        n_items, DiversityKernelConfig(rank=8, epochs=15, lr=0.05, margin=4.0, seed=6)
+    )
+    learner.fit(pairs)
+    kernel = learner.kernel()
+    worst = min(
+        np.linalg.eigvalsh(kernel[np.ix_(tn, tn)]).min() for _, tn in pairs[:40]
+    )
+    assert worst > -1e-8  # PSD maintained
+    gaps = []
+    for tp, tn in pairs[:40]:
+        ld = lambda s: np.linalg.slogdet(kernel[np.ix_(s, s)] + 1e-9 * np.eye(len(s)))[1]
+        gaps.append(ld(tp) - ld(tn))
+    # Bounded: gaps exist but are not astronomically large.
+    assert 0.5 < np.mean(gaps) < 60.0
+
+
+def test_category_jaccard_kernel_properties():
+    categories = [frozenset({0}), frozenset({0, 1}), frozenset({2})]
+    kernel = category_jaccard_kernel(categories, scale=1.0, floor=0.1)
+    assert kernel.shape == (3, 3)
+    assert np.linalg.eigvalsh(kernel).min() > 0
+    # Items sharing categories are more similar than disjoint ones.
+    assert kernel[0, 1] > kernel[0, 2]

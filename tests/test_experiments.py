@@ -1,0 +1,162 @@
+"""Tests for the experiment harness (factories, runners, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    QUICK,
+    SCALES,
+    CellResult,
+    ExperimentScale,
+    build_criterion,
+    build_model,
+    prepare_dataset,
+    render_improvements,
+    render_rework_table,
+    render_table,
+    run_cell,
+    table1_dataset_statistics,
+)
+from repro.losses import LkPCriterion
+from repro.models import (
+    GCMCRecommender,
+    GCNRecommender,
+    MFRecommender,
+    NeuMFRecommender,
+)
+
+TINY = ExperimentScale(
+    name="tiny",
+    dataset_scale=0.3,
+    min_interactions=5,
+    dim=8,
+    epochs=3,
+    patience=0,
+    batch_size=32,
+    base_lr=0.05,
+    lkp_lr=0.1,
+    kernel_rank=8,
+    kernel_epochs=2,
+    kernel_pairs_per_user=1,
+    k=3,
+    n=3,
+)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    return prepare_dataset("ml-like", TINY)
+
+
+def test_scales_registry():
+    assert set(SCALES) == {"quick", "small", "full"}
+    assert SCALES["quick"] is QUICK
+
+
+def test_prepare_dataset_validation():
+    with pytest.raises(ValueError):
+        prepare_dataset("bogus", TINY)
+    with pytest.raises(ValueError):
+        prepare_dataset("ml-like", TINY, kernel_source="bogus")
+
+
+def test_prepare_dataset_caches(prepared):
+    again = prepare_dataset("ml-like", TINY)
+    assert again is prepared
+
+
+def test_prepared_kernel_properties(prepared):
+    kernel = prepared.diversity_kernel
+    assert kernel.shape == (prepared.dataset.num_items, prepared.dataset.num_items)
+    assert np.allclose(np.diagonal(kernel), 1.0)
+    assert np.allclose(kernel, kernel.T)
+
+
+def test_prepare_dataset_category_kernel_source():
+    prepared = prepare_dataset("ml-like", TINY, kernel_source="category", use_cache=False)
+    assert np.allclose(np.diagonal(prepared.diversity_kernel), 1.0)
+
+
+def test_build_model_kinds(prepared):
+    assert isinstance(build_model("mf", prepared), MFRecommender)
+    assert isinstance(build_model("gcn", prepared), GCNRecommender)
+    assert isinstance(build_model("lightgcn", prepared), GCNRecommender)
+    assert isinstance(build_model("neumf", prepared), NeuMFRecommender)
+    assert isinstance(build_model("gcmc", prepared), GCMCRecommender)
+    with pytest.raises(ValueError):
+        build_model("bogus", prepared)
+
+
+def test_build_criterion_codes(prepared):
+    assert isinstance(build_criterion("PS", prepared), LkPCriterion)
+    assert build_criterion("NPS", prepared).use_negative_set
+    assert build_criterion("BPR", prepared).name == "BPR"
+    assert build_criterion("BCE", prepared).name == "BCE"
+    assert build_criterion("SetRank", prepared).name == "SetRank"
+    assert build_criterion("S2SRank", prepared).name == "S2SRank"
+    assert build_criterion("GCMC-NLL", prepared).name == "GCMC-NLL"
+    with pytest.raises(ValueError):
+        build_criterion("bogus", prepared)
+
+
+def test_run_cell_produces_full_metric_set(prepared):
+    cell = run_cell("mf", "BPR", prepared)
+    assert cell.method == "BPR"
+    assert cell.model is not None
+    for family in ("Re", "Nd", "CC", "F"):
+        for cutoff in (5, 10, 20):
+            assert f"{family}@{cutoff}" in cell.metrics
+    assert cell.train_result.epochs_run >= 1
+
+
+def test_run_cell_lkp_uses_lkp_lr(prepared):
+    cell = run_cell("mf", "PS", prepared, k=3, n=3)
+    assert cell.method == "LkP-PS"
+    assert all(np.isfinite(v) for v in cell.metrics.values())
+
+
+def test_table1_renders_all_datasets():
+    report = table1_dataset_statistics(TINY)
+    assert "beauty-like" in report.text
+    assert "ml-like" in report.text
+    assert "anime-like" in report.text
+
+
+def _fake_cell(method, value):
+    from repro.eval import EvalResult
+    from repro.train import TrainResult
+
+    metrics = {
+        f"{family}@{cutoff}": value
+        for family in ("Re", "Nd", "CC", "F")
+        for cutoff in (5, 10, 20)
+    }
+    return CellResult(
+        method=method,
+        model_kind="mf",
+        dataset="x",
+        eval_result=EvalResult(metrics=metrics, num_users_evaluated=1),
+        train_result=TrainResult(),
+    )
+
+
+def test_render_table_and_improvements():
+    cells = [_fake_cell("LkP-PS", 0.2), _fake_cell("BPR", 0.1), _fake_cell("BCE", 0.05)]
+    text = render_table(cells, title="T")
+    assert "LkP-PS" in text and "BPR" in text
+    improvements = render_improvements(cells)
+    # max vs max: (0.2 - 0.1) / 0.1 = 100%; max vs min: 300%.
+    assert "100.00" in improvements
+    assert "300.00" in improvements
+
+
+def test_render_improvements_requires_both_sides():
+    assert "need both" in render_improvements([_fake_cell("BPR", 0.1)])
+
+
+def test_render_rework_table():
+    base = _fake_cell("GCMC", 0.1)
+    reworked = [_fake_cell("GCMC-PS", 0.12), _fake_cell("GCMC-NPS", 0.15)]
+    text = render_rework_table(base, reworked)
+    assert "Improv" in text
+    assert "50.00" in text  # (0.15 - 0.1)/0.1

@@ -1,0 +1,164 @@
+"""Tests for the dataset container, filtering and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset
+
+
+def _tiny_dataset(rows, num_users=4, num_items=5, num_categories=3):
+    categories = [frozenset({i % num_categories}) for i in range(num_items)]
+    return InteractionDataset(
+        name="tiny",
+        num_users=num_users,
+        num_items=num_items,
+        interactions=np.asarray(rows, dtype=np.int64),
+        item_categories=categories,
+        num_categories=num_categories,
+    )
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="user, item, time"):
+        _tiny_dataset([[0, 0]])
+    with pytest.raises(ValueError, match="user id"):
+        _tiny_dataset([[9, 0, 0]])
+    with pytest.raises(ValueError, match="item id"):
+        _tiny_dataset([[0, 9, 0]])
+    with pytest.raises(ValueError, match="item_categories"):
+        InteractionDataset("x", 2, 3, np.empty((0, 3), dtype=np.int64), [frozenset()], 1)
+    with pytest.raises(ValueError, match="out-of-range category"):
+        InteractionDataset(
+            "x", 1, 1, np.empty((0, 3), dtype=np.int64), [frozenset({5})], 2
+        )
+
+
+def test_stats_and_density():
+    ds = _tiny_dataset([[0, 0, 0], [0, 1, 1], [1, 2, 0]])
+    stats = ds.stats()
+    assert stats.num_interactions == 3
+    assert np.isclose(stats.density, 3 / 20)
+    assert "tiny" in stats.as_row()
+
+
+def test_user_histories_ordered_and_deduplicated():
+    ds = _tiny_dataset([[0, 2, 5], [0, 1, 3], [0, 2, 9], [1, 0, 0]])
+    histories = ds.user_histories()
+    assert histories[0].tolist() == [1, 2]  # time order, dedup keeps first
+    assert histories[1].tolist() == [0]
+    assert histories[2].tolist() == []
+
+
+def test_categories_of_unions_labels():
+    ds = _tiny_dataset([[0, 0, 0]])
+    assert ds.categories_of(np.array([0, 1, 2])) == {0, 1, 2}
+    assert ds.categories_of(np.array([0, 3])) == {0}
+
+
+def test_filter_min_interactions_is_iterative():
+    # User 2 depends on item 3, which only survives if user 2 survives:
+    # filtering must cascade.
+    rows = []
+    for t in range(3):
+        rows.append([0, 0, t])
+        rows.append([0, 1, t + 10])
+        rows.append([1, 0, t])
+        rows.append([1, 1, t + 10])
+    rows.append([2, 3, 0])  # single interaction: user 2 and item 3 both die
+    ds = _tiny_dataset(rows)
+    filtered = ds.filter_min_interactions(2)
+    assert filtered.num_users == 2
+    assert filtered.num_items == 2
+    # ids re-densified
+    assert filtered.interactions[:, 0].max() < filtered.num_users
+    assert filtered.interactions[:, 1].max() < filtered.num_items
+
+
+def test_filter_preserves_item_category_alignment():
+    rows = [[0, 4, t] for t in range(3)] + [[1, 4, t] for t in range(3)]
+    rows += [[0, 2, t + 5] for t in range(3)] + [[1, 2, t + 5] for t in range(3)]
+    ds = _tiny_dataset(rows)
+    filtered = ds.filter_min_interactions(2)
+    kept_original_items = sorted({2, 4})
+    for new_id, old_id in enumerate(kept_original_items):
+        assert filtered.item_categories[new_id] == ds.item_categories[old_id]
+
+
+def test_split_fractions_and_disjointness():
+    rng = np.random.default_rng(0)
+    rows = [[u, i, i] for u in range(4) for i in range(5)]
+    ds = _tiny_dataset(rows)
+    split = ds.split(np.random.default_rng(1))
+    for user in range(4):
+        train = set(map(int, split.train[user]))
+        val = set(map(int, split.val[user]))
+        test = set(map(int, split.test[user]))
+        assert train | val | test == set(range(5))
+        assert not (train & val) and not (train & test) and not (val & test)
+        assert len(train) >= 1
+        assert len(test) >= 1
+
+
+def test_split_fraction_validation():
+    ds = _tiny_dataset([[0, 0, 0]])
+    with pytest.raises(ValueError):
+        ds.split(np.random.default_rng(0), train_fraction=0.0)
+    with pytest.raises(ValueError):
+        ds.split(np.random.default_rng(0), train_fraction=0.9, val_fraction=0.2)
+
+
+def test_split_preserves_temporal_order_within_train():
+    rows = [[0, i, i] for i in range(10)]
+    ds = InteractionDataset(
+        "seq",
+        1,
+        10,
+        np.asarray(rows, dtype=np.int64),
+        [frozenset({0}) for _ in range(10)],
+        1,
+    )
+    split = ds.split(np.random.default_rng(2))
+    train = split.train[0]
+    # Item ids equal their timestamps here, so order must be increasing.
+    assert (np.diff(train) > 0).all()
+
+
+def test_train_matrix_and_pairs():
+    rows = [[0, 0, 0], [0, 1, 1], [1, 2, 0], [1, 3, 1], [1, 4, 2]]
+    ds = _tiny_dataset(rows)
+    split = ds.split(np.random.default_rng(3))
+    matrix = split.train_matrix()
+    pairs = split.train_pairs()
+    assert matrix.shape == (4, 5)
+    assert matrix.nnz == pairs.shape[0]
+    for user, item in pairs:
+        assert matrix[user, item] == 1.0
+
+
+def test_sample_negatives_excludes_known():
+    rows = [[0, i, i] for i in range(4)]
+    ds = _tiny_dataset(rows)
+    split = ds.split(np.random.default_rng(4))
+    rng = np.random.default_rng(5)
+    known = split.known_set(0)
+    for _ in range(20):
+        negatives = split.sample_negatives(0, 1, rng)
+        assert int(negatives[0]) not in known
+
+
+def test_sample_negatives_exhaustion_error():
+    rows = [[0, i, i] for i in range(5)]
+    ds = _tiny_dataset(rows)
+    split = ds.split(np.random.default_rng(6))
+    available = 5 - len(split.known_set(0))
+    with pytest.raises(ValueError, match="cannot sample"):
+        split.sample_negatives(0, available + 1, np.random.default_rng(7))
+
+
+def test_users_with_min_train():
+    rows = [[0, i, i] for i in range(5)] + [[1, 0, 0]]
+    ds = _tiny_dataset(rows)
+    split = ds.split(np.random.default_rng(8))
+    heavy = split.users_with_min_train(2)
+    assert 0 in heavy
+    assert 1 not in heavy

@@ -1,0 +1,155 @@
+"""Tests for the k-DPP and standard-DPP distributions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor
+from repro.dpp import (
+    KDPP,
+    StandardDPP,
+    elementary_symmetric_polynomials,
+    log_kdpp_probability,
+    validate_psd_kernel,
+)
+
+
+def _psd(seed, n, ridge=0.2):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, n))
+    return x @ x.T + ridge * np.eye(n)
+
+
+def test_validate_psd_kernel_accepts_and_rejects():
+    validate_psd_kernel(_psd(0, 4))
+    with pytest.raises(ValueError, match="square"):
+        validate_psd_kernel(np.ones((2, 3)))
+    with pytest.raises(ValueError, match="symmetric"):
+        validate_psd_kernel(np.array([[1.0, 2.0], [0.0, 1.0]]))
+    with pytest.raises(ValueError, match="semi-definite"):
+        validate_psd_kernel(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+
+def test_kdpp_k_range_validation():
+    kernel = _psd(1, 4)
+    with pytest.raises(ValueError):
+        KDPP(kernel, 0)
+    with pytest.raises(ValueError):
+        KDPP(kernel, 5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(3, 8), st.integers(0, 2**32 - 1), st.data())
+def test_probabilities_normalize(n, seed, data):
+    k = data.draw(st.integers(1, n))
+    dpp = KDPP(_psd(seed, n), k)
+    table = dpp.enumerate_probabilities()
+    assert np.isclose(sum(table.values()), 1.0, rtol=1e-8)
+    assert all(p >= 0 for p in table.values())
+
+
+def test_normalizer_is_esp_of_eigenvalues():
+    kernel = _psd(2, 6)
+    lam = np.linalg.eigvalsh(kernel)
+    for k in (1, 3, 5):
+        dpp = KDPP(kernel, k)
+        assert np.isclose(dpp.normalizer, elementary_symmetric_polynomials(lam, k), rtol=1e-9)
+
+
+def test_subset_probability_checks():
+    dpp = KDPP(_psd(3, 5), 3)
+    with pytest.raises(ValueError, match="size"):
+        dpp.subset_probability([0, 1])
+    with pytest.raises(ValueError, match="duplicates"):
+        dpp.subset_probability([0, 0, 1])
+    with pytest.raises(ValueError, match="indices"):
+        dpp.subset_probability([0, 1, 9])
+
+
+def test_enumerate_refuses_large_ground_sets():
+    dpp = KDPP(np.eye(20), 3)
+    with pytest.raises(ValueError, match="16"):
+        dpp.enumerate_probabilities()
+
+
+def test_diagonal_kernel_closed_form():
+    # With a diagonal kernel, P(S) = prod q_S / e_k(q).
+    q = np.array([1.0, 2.0, 3.0, 4.0])
+    dpp = KDPP(np.diag(q), 2)
+    expected = (q[1] * q[3]) / elementary_symmetric_polynomials(q, 2)
+    assert np.isclose(dpp.subset_probability([1, 3]), expected)
+
+
+def test_diverse_subsets_beat_redundant_ones():
+    # Two near-duplicate items vs two orthogonal ones with equal quality.
+    kernel = np.array(
+        [
+            [1.0, 0.98, 0.0],
+            [0.98, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    dpp = KDPP(kernel + 1e-9 * np.eye(3), 2)
+    assert dpp.subset_probability([0, 2]) > dpp.subset_probability([0, 1])
+
+
+def test_kdpp_sampler_matches_exact_distribution():
+    kernel = np.array([[1.0, 0.3, 0.1], [0.3, 0.8, 0.2], [0.1, 0.2, 0.6]])
+    dpp = KDPP(kernel, 2)
+    exact = dpp.enumerate_probabilities()
+    rng = np.random.default_rng(0)
+    counts = {key: 0 for key in exact}
+    draws = 6000
+    for _ in range(draws):
+        counts[frozenset(dpp.sample(rng))] += 1
+    for key, probability in exact.items():
+        assert abs(counts[key] / draws - probability) < 0.025
+
+
+def test_kdpp_sample_size_and_distinctness():
+    dpp = KDPP(_psd(4, 7), 4)
+    rng = np.random.default_rng(1)
+    for _ in range(20):
+        s = dpp.sample(rng)
+        assert len(s) == 4
+        assert len(set(s)) == 4
+        assert all(0 <= i < 7 for i in s)
+
+
+def test_standard_dpp_normalizer_and_probability():
+    kernel = _psd(5, 5)
+    dpp = StandardDPP(kernel)
+    assert np.isclose(dpp.log_normalizer, np.linalg.slogdet(kernel + np.eye(5))[1])
+    # All-subset probabilities must sum to 1 (including the empty set).
+    total = 0.0
+    import itertools
+
+    for r in range(6):
+        for combo in itertools.combinations(range(5), r):
+            total += dpp.subset_probability(combo)
+    assert np.isclose(total, 1.0, rtol=1e-8)
+
+
+def test_standard_dpp_sampling_cardinality_distribution():
+    # E[|S|] = sum lambda_i / (1 + lambda_i).
+    kernel = _psd(6, 6)
+    lam = np.linalg.eigvalsh(kernel)
+    expected = (lam / (1 + lam)).sum()
+    dpp = StandardDPP(kernel)
+    rng = np.random.default_rng(2)
+    sizes = [len(dpp.sample(rng)) for _ in range(2000)]
+    assert abs(np.mean(sizes) - expected) < 0.2
+
+
+def test_log_kdpp_probability_matches_exact():
+    kernel = _psd(7, 6)
+    dpp = KDPP(kernel, 3)
+    subset = [1, 2, 5]
+    value = log_kdpp_probability(Tensor(kernel), subset, 3)
+    assert np.isclose(value.item(), dpp.log_subset_probability(subset), rtol=1e-9)
+
+
+def test_log_kdpp_probability_size_check():
+    with pytest.raises(ValueError):
+        log_kdpp_probability(Tensor(_psd(8, 5)), [0, 1], 3)

@@ -1,0 +1,103 @@
+"""Additional distributional and edge-case tests for DPP machinery.
+
+These complement test_kdpp.py with statistical checks that pin the exact
+semantics of the distributions (marginals, conditioning on cardinality)
+rather than just normalization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dpp import KDPP, StandardDPP, esp_table
+
+
+def _psd(seed, n, ridge=0.3):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, n))
+    return x @ x.T + ridge * np.eye(n)
+
+
+def test_kdpp_is_standard_dpp_conditioned_on_cardinality():
+    """P_kDPP(S) must equal P_DPP(S | |S| = k) — the defining property."""
+    kernel = _psd(0, 5)
+    k = 2
+    kdpp = KDPP(kernel, k)
+    dpp = StandardDPP(kernel)
+    import itertools
+
+    mass_at_k = sum(
+        dpp.subset_probability(c) for c in itertools.combinations(range(5), k)
+    )
+    for combo in itertools.combinations(range(5), k):
+        conditioned = dpp.subset_probability(combo) / mass_at_k
+        assert np.isclose(kdpp.subset_probability(combo), conditioned, rtol=1e-8)
+
+
+def test_kdpp_singleton_marginals_from_sampler():
+    """Empirical item frequencies must match exact singleton marginals."""
+    kernel = _psd(1, 5)
+    k = 2
+    kdpp = KDPP(kernel, k)
+    exact = kdpp.enumerate_probabilities()
+    marginals = np.zeros(5)
+    for subset, probability in exact.items():
+        for item in subset:
+            marginals[item] += probability
+    rng = np.random.default_rng(2)
+    counts = np.zeros(5)
+    draws = 5000
+    for _ in range(draws):
+        for item in kdpp.sample(rng):
+            counts[item] += 1
+    assert np.allclose(counts / draws, marginals, atol=0.03)
+
+
+def test_kdpp_k_equals_ground_size():
+    kernel = _psd(3, 4)
+    kdpp = KDPP(kernel, 4)
+    assert np.isclose(kdpp.subset_probability([0, 1, 2, 3]), 1.0)
+    assert kdpp.sample(np.random.default_rng(0)) is not None
+
+
+def test_kdpp_k_equals_one_proportional_to_diagonal():
+    kernel = np.diag([1.0, 2.0, 7.0])
+    kdpp = KDPP(kernel, 1)
+    assert np.isclose(kdpp.subset_probability([2]), 0.7)
+    assert np.isclose(kdpp.subset_probability([0]), 0.1)
+
+
+def test_esp_table_matches_kdpp_eigenvector_selection_invariant():
+    """The ESP-table column used by the sampler equals the normalizer."""
+    kernel = _psd(4, 6)
+    kdpp = KDPP(kernel, 3)
+    table = esp_table(kdpp.eigenvalues, 3)
+    assert np.isclose(table[3, -1], kdpp.normalizer, rtol=1e-10)
+
+
+def test_rank_deficient_kernel_sampling():
+    """Rank-2 kernel with k = 2 still samples valid subsets."""
+    v = np.random.default_rng(5).normal(size=(6, 2))
+    kernel = v @ v.T
+    kdpp = KDPP(kernel, 2)
+    rng = np.random.default_rng(6)
+    for _ in range(10):
+        s = kdpp.sample(rng)
+        assert len(set(s)) == 2
+
+
+def test_quality_scaling_shifts_mass_toward_high_quality_items():
+    """Raising one item's quality must raise its k-DPP marginal —
+    the mechanism by which LkP promotes relevant items."""
+    base = _psd(7, 5, ridge=1.0)
+    diag = np.sqrt(np.diagonal(base))
+    diversity = base / np.outer(diag, diag)
+
+    def marginal_of_item0(quality0):
+        quality = np.array([quality0, 1.0, 1.0, 1.0, 1.0])
+        kernel = quality[:, None] * diversity * quality[None, :]
+        kdpp = KDPP(kernel + 1e-9 * np.eye(5), 2, validate=False)
+        return sum(
+            p for s, p in kdpp.enumerate_probabilities().items() if 0 in s
+        )
+
+    assert marginal_of_item0(3.0) > marginal_of_item0(1.0) > marginal_of_item0(0.3)

@@ -1,0 +1,130 @@
+"""Property-based tests of the LkP objective's mathematical invariants.
+
+Each test pins a property the paper's construction relies on:
+
+* the PS objective is invariant to uniform quality rescaling (only
+  relative relevance within a ground set matters);
+* the target subset's probability is monotone in the targets' scores;
+* the exclusion term of Eq. 10 strictly decreases P(S-) after a step;
+* with an identity diversity kernel the log-probability decomposes into
+  the Eq. 5 form (sum of 2 log q over targets minus log Z).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autodiff import Tensor
+from repro.dpp import KDPP, elementary_symmetric_polynomials
+from repro.dpp.kdpp import log_kdpp_probability
+
+
+def _diversity(seed, m):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(m, m))
+    kernel = x @ x.T + 0.5 * np.eye(m)
+    diag = np.sqrt(np.diagonal(kernel))
+    return kernel / np.outer(diag, diag)
+
+
+def _kernel(quality, diversity):
+    return quality[:, None] * diversity * quality[None, :]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.1, 10.0))
+def test_ps_objective_invariant_to_uniform_quality_scaling(seed, scale):
+    rng = np.random.default_rng(seed)
+    m, k = 6, 3
+    diversity = _diversity(seed, m)
+    quality = np.exp(rng.normal(size=m))
+    subset = list(range(k))
+    base = KDPP(_kernel(quality, diversity) + 1e-10 * np.eye(m), k, validate=False)
+    scaled = KDPP(
+        _kernel(scale * quality, diversity) + 1e-10 * np.eye(m), k, validate=False
+    )
+    assert np.isclose(
+        base.subset_probability(subset), scaled.subset_probability(subset), rtol=1e-6
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10_000))
+def test_target_probability_monotone_in_target_quality(seed):
+    rng = np.random.default_rng(seed)
+    m, k = 6, 3
+    diversity = _diversity(seed + 1, m)
+    quality = np.exp(rng.normal(size=m) * 0.3)
+    subset = list(range(k))
+
+    def probability(boost):
+        q = quality.copy()
+        q[:k] *= boost
+        return KDPP(
+            _kernel(q, diversity) + 1e-10 * np.eye(m), k, validate=False
+        ).subset_probability(subset)
+
+    assert probability(2.0) > probability(1.0) > probability(0.5)
+
+
+def test_eq5_decomposition_identity_kernel():
+    """log P(S) = sum_{i in S} 2 log q_i - log e_k(q^2) when K = I."""
+    rng = np.random.default_rng(0)
+    m, k = 7, 3
+    quality = np.exp(rng.normal(size=m) * 0.5)
+    kernel = np.diag(quality**2)
+    subset = [0, 2, 5]
+    value = log_kdpp_probability(Tensor(kernel), subset, k)
+    expected = 2 * np.log(quality[subset]).sum() - np.log(
+        elementary_symmetric_polynomials(quality**2, k)
+    )
+    assert np.isclose(value.item(), expected, rtol=1e-9)
+
+
+def test_eq5_diversity_term_additivity():
+    """log det(L_S) = sum 2 log q_i + log det(K_S) — Eq. 5's split."""
+    rng = np.random.default_rng(1)
+    m = 6
+    diversity = _diversity(2, m)
+    quality = np.exp(rng.normal(size=m) * 0.4)
+    kernel = _kernel(quality, diversity)
+    subset = [1, 3, 4]
+    logdet_l = np.linalg.slogdet(kernel[np.ix_(subset, subset)])[1]
+    logdet_k = np.linalg.slogdet(diversity[np.ix_(subset, subset)])[1]
+    assert np.isclose(
+        logdet_l, 2 * np.log(quality[subset]).sum() + logdet_k, rtol=1e-9
+    )
+
+
+def test_exclusion_gradient_decreases_negative_probability():
+    """One gradient step on -log(1 - P(S-)) must lower P(S-)."""
+    rng = np.random.default_rng(3)
+    m, k = 6, 3
+    diversity = _diversity(4, m)
+    scores = Tensor(rng.normal(size=m) * 0.1, requires_grad=True)
+
+    def negative_probability():
+        quality = scores.exp()
+        kernel = quality.reshape(m, 1) * Tensor(diversity) * quality.reshape(1, m)
+        kernel = kernel + Tensor(1e-8 * np.eye(m))
+        return log_kdpp_probability(kernel, [3, 4, 5], k).exp()
+
+    before = negative_probability()
+    loss = -(1.0 - before).log()
+    loss.backward()
+    scores.data -= 0.1 * scores.grad
+    after = negative_probability()
+    assert after.item() < before.item()
+
+
+def test_diverse_target_sets_rank_higher_at_equal_quality():
+    """The diversity-ranking interpretation: with equal quality scores,
+    the target set spanning lower-similarity items wins (Figure 1's
+    diversity comparison)."""
+    diversity = np.eye(4)
+    diversity[0, 1] = diversity[1, 0] = 0.95  # items 0,1 near-duplicates
+    diversity[2, 3] = diversity[3, 2] = 0.05  # items 2,3 nearly orthogonal
+    quality = np.ones(4)
+    kdpp = KDPP(_kernel(quality, diversity) + 1e-10 * np.eye(4), 2, validate=False)
+    assert kdpp.subset_probability([2, 3]) > kdpp.subset_probability([0, 1])

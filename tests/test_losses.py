@@ -1,0 +1,219 @@
+"""Tests for every optimization criterion."""
+
+import numpy as np
+import pytest
+
+from repro.data import GroundSetInstance, movielens_like
+from repro.dpp import KDPP, category_jaccard_kernel
+from repro.eval.probability_analysis import ground_set_kernel_np
+from repro.losses import (
+    BCECriterion,
+    BPRCriterion,
+    GCMCNLLCriterion,
+    LkPCriterion,
+    Set2SetRankCriterion,
+    SetRankCriterion,
+    make_lkp_variant,
+)
+from repro.losses.lkp import LKP_VARIANTS
+from repro.models import GCMCRecommender, MFRecommender
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = movielens_like(scale=0.35).filter_min_interactions(5)
+    split = dataset.split(np.random.default_rng(0))
+    kernel = category_jaccard_kernel(dataset.item_categories, scale=0.8, floor=0.2)
+    diag = np.sqrt(np.diagonal(kernel))
+    kernel = kernel / np.outer(diag, diag)
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=0)
+    return dataset, split, kernel, model
+
+
+def test_bpr_loss_value_and_direction(world):
+    dataset, split, _, model = world
+    criterion = BPRCriterion()
+    batch = criterion.make_sampler(split).instances(np.random.default_rng(1))[:16]
+    reprs = model.representations()
+    loss = criterion.batch_loss(model, reprs, batch)
+    # With near-zero random embeddings, -log sigmoid(0) = log 2.
+    assert abs(loss.item() - np.log(2)) < 0.1
+    # Raising positive scores lowers the loss.
+    for user, pos, _ in batch:
+        model.user_embedding.weight.data[user] += 0.0  # no-op placeholder
+    users = np.array([b[0] for b in batch])
+    positives = np.array([b[1] for b in batch])
+    model.item_embedding.weight.data[positives] += (
+        model.user_embedding.weight.data[users] * 10
+    )
+    better = criterion.batch_loss(model, model.representations(), batch)
+    assert better.item() < loss.item()
+
+
+def test_bce_loss_matches_manual(world):
+    dataset, split, _, _ = world
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=1)
+    criterion = BCECriterion()
+    batch = [(0, 1, 1.0), (0, 2, 0.0)]
+    reprs = model.representations()
+    loss = criterion.batch_loss(model, reprs, batch)
+    scores = model.full_scores()
+    p = 1 / (1 + np.exp(-np.array([scores[0, 1], scores[0, 2]])))
+    manual = -(np.log(p[0]) + np.log(1 - p[1])) / 2
+    assert np.isclose(loss.item(), manual, rtol=1e-8)
+
+
+def test_setrank_is_softmax_cross_entropy(world):
+    dataset, split, _, _ = world
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=2)
+    criterion = SetRankCriterion(num_negatives=3)
+    batch = [(0, 1, np.array([2, 3, 4]))]
+    reprs = model.representations()
+    loss = criterion.batch_loss(model, reprs, batch)
+    scores = model.full_scores()[0, [1, 2, 3, 4]]
+    manual = -(scores[0] - np.log(np.exp(scores).sum()))
+    assert np.isclose(loss.item(), manual, rtol=1e-8)
+
+
+def test_setrank_validation():
+    with pytest.raises(ValueError):
+        SetRankCriterion(num_negatives=0)
+
+
+def test_set2setrank_components_positive(world):
+    dataset, split, _, model = world
+    criterion = Set2SetRankCriterion(k=3, n=3)
+    batch = criterion.make_sampler(split).instances(np.random.default_rng(3))[:8]
+    loss = criterion.batch_loss(model, model.representations(), batch)
+    assert loss.item() > 0
+    loss.backward()  # must be differentiable end to end
+
+
+def test_gcmc_nll_requires_level_logits(world):
+    dataset, split, _, model = world
+    criterion = GCMCNLLCriterion()
+    with pytest.raises(TypeError):
+        criterion.batch_loss(model, model.representations(), [(0, 1, 1.0)])
+    gcmc = GCMCRecommender(dataset.num_users, dataset.num_items, split.train_matrix(), dim=8, rng=3)
+    loss = criterion.batch_loss(gcmc, gcmc.representations(), [(0, 1, 1.0), (0, 2, 0.0)])
+    assert np.isfinite(loss.item())
+
+
+# ----------------------------------------------------------------------
+# LkP
+# ----------------------------------------------------------------------
+def test_lkp_variant_factory_flags():
+    kernel = np.eye(4)
+    ps = make_lkp_variant("PS", diversity_kernel=kernel, k=2, n=2)
+    assert not ps.use_negative_set and ps.sampling == "S" and ps.kernel_mode == "pretrained"
+    npr = make_lkp_variant("NPR", diversity_kernel=kernel, k=2, n=2)
+    assert npr.use_negative_set and npr.sampling == "R"
+    pse = make_lkp_variant("PSE", k=2, n=2)
+    assert pse.kernel_mode == "embedding"
+    npse = make_lkp_variant("NPSE", k=2, n=2)
+    assert npse.use_negative_set and npse.kernel_mode == "embedding"
+    with pytest.raises(ValueError):
+        make_lkp_variant("XXX")
+
+
+def test_lkp_constructor_validation():
+    with pytest.raises(ValueError, match="n == k"):
+        LkPCriterion(k=3, n=4, use_negative_set=True, diversity_kernel=np.eye(4))
+    with pytest.raises(ValueError, match="pre-learned"):
+        LkPCriterion(kernel_mode="pretrained", diversity_kernel=None)
+    with pytest.raises(ValueError, match="square"):
+        LkPCriterion(diversity_kernel=np.ones((2, 3)))
+    with pytest.raises(ValueError, match="sampling"):
+        LkPCriterion(sampling="Q", diversity_kernel=np.eye(3))
+    with pytest.raises(ValueError, match="normalization"):
+        LkPCriterion(diversity_kernel=np.eye(3), normalization="bogus")
+
+
+def test_lkp_kernel_size_must_match_dataset(world):
+    dataset, split, _, _ = world
+    criterion = LkPCriterion(k=3, n=3, diversity_kernel=np.eye(4))
+    with pytest.raises(ValueError, match="covers"):
+        criterion.make_sampler(split)
+
+
+def test_lkp_instance_loss_matches_exact_kdpp(world):
+    """The differentiable loss must equal -log P_kDPP(S+) exactly."""
+    dataset, split, kernel, model = world
+    criterion = LkPCriterion(k=3, n=3, diversity_kernel=kernel, jitter=1e-6)
+    instance = criterion.make_sampler(split).instances(np.random.default_rng(4))[0]
+    loss = criterion.instance_loss(model, model.representations(), instance)
+    numpy_kernel = ground_set_kernel_np(model, kernel, instance, jitter=1e-6)
+    dpp = KDPP(numpy_kernel, 3, validate=False)
+    assert np.isclose(loss.item(), -dpp.log_subset_probability([0, 1, 2]), rtol=1e-7)
+
+
+def test_lkp_nps_adds_exclusion_term(world):
+    dataset, split, kernel, model = world
+    ps = LkPCriterion(k=3, n=3, diversity_kernel=kernel)
+    nps = LkPCriterion(k=3, n=3, diversity_kernel=kernel, use_negative_set=True)
+    instance = ps.make_sampler(split).instances(np.random.default_rng(5))[0]
+    reprs = model.representations()
+    loss_ps = ps.instance_loss(model, reprs, instance)
+    loss_nps = nps.instance_loss(model, reprs, instance)
+    numpy_kernel = ground_set_kernel_np(model, kernel, instance, jitter=1e-6)
+    dpp = KDPP(numpy_kernel, 3, validate=False)
+    p_neg = dpp.subset_probability([3, 4, 5])
+    assert np.isclose(loss_nps.item(), loss_ps.item() - np.log(1 - p_neg), rtol=1e-6)
+
+
+def test_lkp_training_signal_raises_target_probability(world):
+    """A few gradient steps on one instance must raise P(S+)."""
+    dataset, split, kernel, _ = world
+    from repro.autodiff import optim
+
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=5)
+    criterion = LkPCriterion(k=3, n=3, diversity_kernel=kernel)
+    instance = criterion.make_sampler(split).instances(np.random.default_rng(6))[0]
+
+    def target_probability():
+        numpy_kernel = ground_set_kernel_np(model, kernel, instance)
+        return KDPP(numpy_kernel, 3, validate=False).subset_probability([0, 1, 2])
+
+    before = target_probability()
+    optimizer = optim.Adam(model.parameters(), lr=0.05)
+    for _ in range(30):
+        loss = criterion.instance_loss(model, model.representations(), instance)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    assert target_probability() > before
+
+
+@pytest.mark.parametrize("code", LKP_VARIANTS)
+def test_all_variants_produce_finite_differentiable_losses(world, code):
+    dataset, split, kernel, model = world
+    criterion = make_lkp_variant(code, diversity_kernel=kernel, k=3, n=3)
+    batch = criterion.make_sampler(split).instances(np.random.default_rng(7))[:4]
+    model.zero_grad()
+    loss = criterion.batch_loss(model, model.representations(), batch)
+    assert np.isfinite(loss.item())
+    loss.backward()
+    grads = [p.grad for p in model.parameters() if p.grad is not None]
+    assert grads and all(np.all(np.isfinite(g)) for g in grads)
+
+
+def test_lkp_standard_dpp_normalization_option(world):
+    dataset, split, kernel, model = world
+    criterion = LkPCriterion(
+        k=3, n=3, diversity_kernel=kernel, normalization="standard_dpp"
+    )
+    instance = criterion.make_sampler(split).instances(np.random.default_rng(8))[0]
+    loss = criterion.instance_loss(model, model.representations(), instance)
+    # Standard-DPP probability of a specific subset is smaller than the
+    # k-DPP's (the normalizer covers all 2^m subsets), so the loss is larger.
+    kdpp_loss = LkPCriterion(k=3, n=3, diversity_kernel=kernel).instance_loss(
+        model, model.representations(), instance
+    )
+    assert loss.item() > kdpp_loss.item()
+
+
+def test_lkp_names_follow_paper():
+    kernel = np.eye(4)
+    assert make_lkp_variant("PS", diversity_kernel=kernel).name == "LkP-PS"
+    assert make_lkp_variant("NPSE").name == "LkP-NPSE"
+    assert LkPCriterion(diversity_kernel=kernel, name="custom").name == "custom"

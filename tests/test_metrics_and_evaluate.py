@@ -1,0 +1,153 @@
+"""Tests for metrics (including the paper-pinned F composition) and eval."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import InteractionDataset
+from repro.eval import (
+    category_coverage,
+    evaluate_scores,
+    f_score,
+    intra_list_distance,
+    ndcg_at_n,
+    precision_at_n,
+    recall_at_n,
+)
+
+
+def test_recall_known_values():
+    assert recall_at_n(np.array([1, 2, 3]), {1, 9}) == 0.5
+    assert recall_at_n(np.array([1, 2]), {1, 2}) == 1.0
+    assert recall_at_n(np.array([5]), {1}) == 0.0
+    with pytest.raises(ValueError):
+        recall_at_n(np.array([1]), set())
+
+
+def test_precision_known_values():
+    assert precision_at_n(np.array([1, 2, 3, 4]), {1, 2}) == 0.5
+    assert precision_at_n(np.array([]), {1}) == 0.0
+
+
+def test_ndcg_perfect_and_worst():
+    assert np.isclose(ndcg_at_n(np.array([1, 2]), {1, 2}), 1.0)
+    assert ndcg_at_n(np.array([3, 4]), {1, 2}) == 0.0
+    # A hit at rank 2 discounts by 1/log2(3).
+    expected = (1 / np.log2(3)) / (1 / np.log2(2))
+    assert np.isclose(ndcg_at_n(np.array([9, 1]), {1}), expected)
+
+
+def test_ndcg_ideal_uses_min_of_list_and_relevant():
+    # One relevant item, list of 3: ideal DCG is a single top hit.
+    assert np.isclose(ndcg_at_n(np.array([1, 8, 9]), {1}), 1.0)
+
+
+def test_category_coverage_multilabel():
+    categories = [frozenset({0, 1}), frozenset({1}), frozenset({2})]
+    assert np.isclose(category_coverage(np.array([0, 1]), categories, 4), 0.5)
+    assert np.isclose(category_coverage(np.array([0, 2]), categories, 4), 0.75)
+    with pytest.raises(ValueError):
+        category_coverage(np.array([0]), categories, 0)
+
+
+def test_f_score_pins_paper_table2_values():
+    # Beauty / PR row of Table II: Re@5=0.0788, Nd@5=0.0808, CC@5=0.0579,
+    # printed F@5=0.0671.
+    assert abs(f_score(0.0788, 0.0808, 0.0579) - 0.0671) < 2e-4
+    # ML / PS row: Re@5=0.0869, Nd@5=0.0952, CC@5=0.3346 -> F@5=0.1431.
+    assert abs(f_score(0.0869, 0.0952, 0.3346) - 0.1431) < 2e-4
+    # Anime / PS row: Re@5=0.0975, Nd@5=0.1560, CC@5=0.3359 -> F@5=0.1841.
+    assert abs(f_score(0.0975, 0.1560, 0.3359) - 0.1841) < 2e-4
+
+
+def test_f_score_degenerate():
+    assert f_score(0.0, 0.0, 0.0) == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.floats(0, 1), st.floats(0, 1), st.floats(0, 1)
+)
+def test_f_score_bounded_by_components(recall, ndcg, coverage):
+    value = f_score(recall, ndcg, coverage)
+    quality = 0.5 * (recall + ndcg)
+    assert 0.0 <= value <= 1.0 + 1e-12
+    assert value <= max(quality, coverage) + 1e-12
+
+
+def test_intra_list_distance():
+    features = np.array([[0.0, 0.0], [3.0, 4.0], [0.0, 0.0]])
+    assert np.isclose(intra_list_distance(np.array([0, 1]), features), 5.0)
+    assert intra_list_distance(np.array([0]), features) == 0.0
+
+
+def _eval_fixture():
+    # 2 users, 6 items, crafted splits.
+    interactions = []
+    for item in range(6):
+        interactions.append([0, item, item])
+        interactions.append([1, item, item])
+    dataset = InteractionDataset(
+        "fix",
+        2,
+        6,
+        np.asarray(interactions, dtype=np.int64),
+        [frozenset({i % 3}) for i in range(6)],
+        3,
+    )
+    split = dataset.split(np.random.default_rng(0))
+    return dataset, split
+
+
+def test_evaluate_scores_shape_validation():
+    dataset, split = _eval_fixture()
+    with pytest.raises(ValueError):
+        evaluate_scores(np.zeros((3, 3)), split)
+    with pytest.raises(ValueError):
+        evaluate_scores(np.zeros((2, 6)), split, target="bogus")
+
+
+def test_evaluate_scores_perfect_oracle():
+    dataset, split = _eval_fixture()
+    scores = np.full((2, 6), -10.0)
+    for user in range(2):
+        for item in split.test[user]:
+            scores[user, item] = 10.0
+    result = evaluate_scores(scores, split, cutoffs=(5,))
+    assert np.isclose(result["Re@5"], 1.0)
+    assert np.isclose(result["Nd@5"], 1.0)
+
+
+def test_evaluate_never_recommends_known_items():
+    dataset, split = _eval_fixture()
+    # Give train items the HIGHEST scores: they must still be excluded,
+    # so the oracle test items (second highest) win.
+    scores = np.zeros((2, 6))
+    for user in range(2):
+        for item in split.train[user]:
+            scores[user, item] = 100.0
+        for item in split.test[user]:
+            scores[user, item] = 50.0
+    result = evaluate_scores(scores, split, cutoffs=(5,))
+    assert result["Re@5"] == 1.0
+
+
+def test_evaluate_val_target_excludes_train_only():
+    dataset, split = _eval_fixture()
+    scores = np.zeros((2, 6))
+    for user in range(2):
+        for item in split.val[user]:
+            scores[user, item] = 10.0
+    if all(split.val[user].shape[0] for user in range(2)):
+        result = evaluate_scores(scores, split, cutoffs=(5,), target="val")
+        assert result["Re@5"] == 1.0
+
+
+def test_metrics_monotone_in_cutoff():
+    dataset, split = _eval_fixture()
+    rng = np.random.default_rng(1)
+    scores = rng.normal(size=(2, 6))
+    result = evaluate_scores(scores, split, cutoffs=(1, 3, 5))
+    assert result["Re@1"] <= result["Re@3"] <= result["Re@5"]
+    assert result["CC@1"] <= result["CC@3"] <= result["CC@5"]

@@ -1,0 +1,146 @@
+"""Tests for the four recommendation backbones."""
+
+import numpy as np
+import pytest
+
+from repro.data import movielens_like
+from repro.models import (
+    GCMCRecommender,
+    GCNRecommender,
+    MFRecommender,
+    NeuMFRecommender,
+)
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    dataset = movielens_like(scale=0.35).filter_min_interactions(5)
+    split = dataset.split(np.random.default_rng(0))
+    return dataset, split
+
+
+def _models(dataset, split):
+    matrix = split.train_matrix()
+    return [
+        MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=0),
+        GCNRecommender(dataset.num_users, dataset.num_items, matrix, dim=8, num_layers=2, rng=0),
+        GCNRecommender(
+            dataset.num_users, dataset.num_items, matrix, dim=8, num_layers=2,
+            variant="lightgcn", rng=0,
+        ),
+        NeuMFRecommender(dataset.num_users, dataset.num_items, dim=8, mlp_layers=(16, 8), rng=0),
+        GCMCRecommender(dataset.num_users, dataset.num_items, matrix, dim=8, rng=0),
+    ]
+
+
+def test_full_scores_shape_and_consistency(prepared):
+    dataset, split = prepared
+    users = np.array([0, 1, 2, 0])
+    items = np.array([0, 3, 5, 5])
+    for model in _models(dataset, split):
+        full = model.full_scores()
+        assert full.shape == (dataset.num_users, dataset.num_items)
+        reprs = model.representations()
+        pair_scores = model.scores_for_pairs(reprs, users, items).data
+        direct = full[users, items]
+        assert np.allclose(pair_scores, direct, rtol=1e-8, atol=1e-10), type(model).__name__
+
+
+def test_score_items_convenience(prepared):
+    dataset, split = prepared
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=1)
+    items = np.array([0, 1, 2])
+    scores = model.score_items(3, items)
+    assert np.allclose(scores.data, model.full_scores()[3, items])
+
+
+def test_item_vectors_shapes(prepared):
+    dataset, split = prepared
+    for model in _models(dataset, split):
+        reprs = model.representations()
+        vectors = model.item_vectors(reprs, np.array([0, 1, 4]))
+        assert vectors.shape[0] == 3
+        assert vectors.ndim == 2
+
+
+def test_quality_transform_declarations(prepared):
+    dataset, split = prepared
+    mf, gcn, light, neumf, gcmc = _models(dataset, split)
+    assert mf.quality_transform == "exp"
+    assert gcn.quality_transform == "exp"
+    assert neumf.quality_transform == "sigmoid"
+    assert gcmc.quality_transform == "sigmoid"
+
+
+def test_gradients_reach_all_parameters(prepared):
+    dataset, split = prepared
+    users = np.arange(4)
+    items = np.arange(4)
+    for model in _models(dataset, split):
+        reprs = model.representations()
+        loss = (model.scores_for_pairs(reprs, users, items) ** 2).sum()
+        model.zero_grad()
+        loss.backward()
+        touched = sum(
+            1 for p in model.parameters() if p.grad is not None and np.abs(p.grad).sum() > 0
+        )
+        # Most parameters should receive gradient (embeddings of untouched
+        # users/items legitimately get zeros inside the tables).
+        assert touched >= 1, type(model).__name__
+
+
+def test_state_dict_roundtrip_changes_scores(prepared):
+    dataset, split = prepared
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=2)
+    before = model.full_scores()
+    state = model.state_dict()
+    for p in model.parameters():
+        p.data += 1.0
+    assert not np.allclose(model.full_scores(), before)
+    model.load_state_dict(state)
+    assert np.allclose(model.full_scores(), before)
+
+
+def test_gcn_validation(prepared):
+    dataset, split = prepared
+    matrix = split.train_matrix()
+    with pytest.raises(ValueError):
+        GCNRecommender(dataset.num_users, dataset.num_items, matrix, variant="bogus", rng=0)
+    with pytest.raises(ValueError):
+        GCNRecommender(dataset.num_users, dataset.num_items, matrix, num_layers=0, rng=0)
+    with pytest.raises(ValueError):
+        GCNRecommender(dataset.num_users + 1, dataset.num_items, matrix, rng=0)
+
+
+def test_gcn_propagation_mixes_neighbors(prepared):
+    # After propagation, a user's representation depends on item
+    # embeddings: perturbing an interacted item's embedding must change
+    # the user's GCN score for any item.
+    dataset, split = prepared
+    model = GCNRecommender(
+        dataset.num_users, dataset.num_items, split.train_matrix(), dim=8, rng=3
+    )
+    user = int(split.users_with_min_train(1)[0])
+    item = int(split.train[user][0])
+    before = model.full_scores()[user]
+    model.item_embedding.weight.data[item] += 5.0
+    after = model.full_scores()[user]
+    assert not np.allclose(before, after)
+
+
+def test_gcmc_level_logits_shape(prepared):
+    dataset, split = prepared
+    model = GCMCRecommender(dataset.num_users, dataset.num_items, split.train_matrix(), dim=8, rng=4)
+    reprs = model.representations()
+    logits = model.level_logits(reprs, np.array([0, 1]), np.array([2, 3]))
+    assert logits.shape == (2, 2)
+    # scores are the log-odds of the positive level
+    scores = model.scores_for_pairs(reprs, np.array([0, 1]), np.array([2, 3]))
+    assert np.allclose(scores.data, logits.data[:, 1] - logits.data[:, 0])
+
+
+def test_base_validation():
+    with pytest.raises(ValueError):
+        MFRecommender(0, 5, dim=4, rng=0)
+    with pytest.raises(ValueError):
+        MFRecommender(5, 5, dim=0, rng=0)

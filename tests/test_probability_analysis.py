@@ -1,0 +1,106 @@
+"""Tests for the Figure 4 probability diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.data import GroundSetSampler, movielens_like
+from repro.dpp import category_jaccard_kernel
+from repro.eval import (
+    diverse_vs_monotonous,
+    ground_set_kernel_np,
+    target_count_probabilities,
+)
+from repro.models import MFRecommender
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = movielens_like(scale=0.35).filter_min_interactions(5)
+    split = dataset.split(np.random.default_rng(0))
+    kernel = category_jaccard_kernel(dataset.item_categories, scale=0.8, floor=0.2)
+    diag = np.sqrt(np.diagonal(kernel))
+    kernel = kernel / np.outer(diag, diag)
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=0)
+    sampler = GroundSetSampler(split, k=3, n=3, mode="S")
+    instances = sampler.instances(np.random.default_rng(1))[:12]
+    return dataset, split, kernel, model, instances
+
+
+def test_ground_set_kernel_np_is_psd_and_sized(world):
+    dataset, split, kernel, model, instances = world
+    numpy_kernel = ground_set_kernel_np(model, kernel, instances[0])
+    assert numpy_kernel.shape == (6, 6)
+    assert np.linalg.eigvalsh(numpy_kernel).min() > 0
+    assert np.allclose(numpy_kernel, numpy_kernel.T)
+
+
+def test_target_groups_partition_all_subsets(world):
+    dataset, split, kernel, model, instances = world
+    report = target_count_probabilities(model, kernel, instances[:5])
+    # Group-weighted probabilities must reconstruct total probability 1:
+    # sum_z mean_p[z] * C(k, z-positions) * C(n, rest).
+    from math import comb
+
+    k, n = report.k, report.n
+    total = sum(
+        report.mean_probability[z] * comb(k, z) * comb(n, k - z)
+        for z in range(k + 1)
+    )
+    assert np.isclose(total, 1.0, rtol=1e-8)
+    assert np.isclose(report.uniform, 1.0 / comb(k + n, k))
+
+
+def test_untrained_model_probabilities_near_uniform(world):
+    dataset, split, kernel, model, instances = world
+    fresh = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=42)
+    # With std 0.01 embeddings, scores ~ 0 and quality ~ 1 for all items.
+    fresh.user_embedding.weight.data *= 0.01
+    fresh.item_embedding.weight.data *= 0.01
+    report = target_count_probabilities(fresh, kernel, instances[:5])
+    assert np.all(np.abs(report.mean_probability - report.uniform) < 0.35 * report.uniform)
+
+
+def test_trained_model_separates_target_groups(world):
+    dataset, split, kernel, model, instances = world
+    from repro.autodiff import optim
+    from repro.losses import make_lkp_variant
+
+    trained = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=3)
+    criterion = make_lkp_variant("PS", diversity_kernel=kernel, k=3, n=3)
+    optimizer = optim.Adam(trained.parameters(), lr=0.1)
+    for _ in range(15):
+        loss = criterion.batch_loss(trained, trained.representations(), instances)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    report = target_count_probabilities(trained, kernel, instances)
+    # Monotone trend: more targets -> higher average probability, and the
+    # full-target group far above uniform.
+    assert report.mean_probability[-1] > 3 * report.uniform
+    assert report.mean_probability[-1] > report.mean_probability[0]
+
+
+def test_report_rendering(world):
+    dataset, split, kernel, model, instances = world
+    report = target_count_probabilities(model, kernel, instances[:3])
+    rows = report.as_rows()
+    assert any("target subset" in row for row in rows)
+
+
+def test_instances_must_share_shape(world):
+    dataset, split, kernel, model, instances = world
+    other = GroundSetSampler(split, k=2, n=2).instances(np.random.default_rng(2))[:1]
+    with pytest.raises(ValueError, match="same"):
+        target_count_probabilities(model, kernel, instances[:1] + other)
+    with pytest.raises(ValueError):
+        target_count_probabilities(model, kernel, [])
+
+
+def test_diverse_vs_monotonous_report(world):
+    dataset, split, kernel, model, instances = world
+    report = diverse_vs_monotonous(
+        model, kernel, instances, split, diverse_threshold=3, monotonous_threshold=3
+    )
+    assert report.diverse_count + report.monotonous_count <= len(instances)
+    if report.diverse_count:
+        assert np.isfinite(report.diverse_mean)

@@ -1,0 +1,70 @@
+"""Tests for the run_all CLI and the Figure 5 case-study runner."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentScale, run_case_study
+from repro.experiments.run_all import EXPERIMENTS, main
+
+TINY = ExperimentScale(
+    name="tiny-cli",
+    dataset_scale=0.3,
+    min_interactions=5,
+    dim=8,
+    epochs=3,
+    patience=0,
+    batch_size=32,
+    base_lr=0.05,
+    lkp_lr=0.1,
+    kernel_rank=8,
+    kernel_epochs=2,
+    kernel_pairs_per_user=1,
+    k=3,
+    n=3,
+)
+
+
+def test_cli_rejects_unknown_experiment(capsys):
+    with pytest.raises(SystemExit):
+        main(["--only", "bogus"])
+
+
+def test_cli_rejects_unknown_scale():
+    with pytest.raises(SystemExit):
+        main(["--scale", "galactic"])
+
+
+def test_cli_runs_table1(capsys):
+    assert main(["--scale", "quick", "--only", "table1"]) == 0
+    output = capsys.readouterr().out
+    assert "beauty-like" in output
+    assert "table1 done" in output
+
+
+def test_experiment_registry_complete():
+    assert set(EXPERIMENTS) == {
+        "table1", "table2", "table3", "table4",
+        "fig2", "fig3", "fig4", "fig5",
+        "ablation_std_dpp", "ablation_diverse",
+    }
+
+
+def test_case_study_structure():
+    report = run_case_study(scale=TINY, methods=("BPR", "PS"), subset_size=3)
+    assert set(report.top5) == {"BPR", "LkP-PS"}
+    for entries in report.top5.values():
+        assert len(entries) == 5
+        for item, hit, categories in entries:
+            assert isinstance(hit, bool)
+            assert isinstance(categories, frozenset)
+    probabilities = [p for _, _, p in report.subset_probabilities]
+    assert np.isclose(sum(probabilities), 1.0, atol=1e-8)
+    assert report.train_category_counts
+    assert "Case study" in report.text
+
+
+def test_case_study_picks_category_broad_user():
+    report = run_case_study(scale=TINY, methods=("BPR", "PS"))
+    # The chosen user's test items must span several categories by design.
+    dataset_breadths = [len(c) for _, _, c in report.top5["BPR"]]
+    assert report.user >= 0

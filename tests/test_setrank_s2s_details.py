@@ -1,0 +1,115 @@
+"""Behavioral tests pinning the baseline criteria's ranking semantics.
+
+Beyond running without error (test_losses.py), these verify each baseline
+*orders* models the way its paper intends — the property the comparison
+tables depend on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, optim
+from repro.data import movielens_like
+from repro.losses import BPRCriterion, Set2SetRankCriterion, SetRankCriterion
+from repro.models import MFRecommender
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = movielens_like(scale=0.35).filter_min_interactions(5)
+    split = dataset.split(np.random.default_rng(0))
+    return dataset, split
+
+
+def _train(model, criterion, split, steps=40, lr=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    sampler = criterion.make_sampler(split)
+    optimizer = optim.Adam(model.parameters(), lr=lr)
+    for _ in range(steps):
+        batch = sampler.instances(rng)[:32]
+        loss = criterion.batch_loss(model, model.representations(), batch)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return model
+
+
+@pytest.mark.parametrize(
+    "criterion_factory",
+    [BPRCriterion, lambda: SetRankCriterion(num_negatives=4), lambda: Set2SetRankCriterion(k=3, n=3)],
+)
+def test_criterion_ranks_train_items_above_unseen(world, criterion_factory):
+    """After training, observed items outrank unobserved ones on average."""
+    dataset, split = world
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=0)
+    criterion = criterion_factory()
+    _train(model, criterion, split)
+    scores = model.full_scores()
+    gaps = []
+    for user in range(dataset.num_users):
+        train = np.fromiter(split.train_set(user), dtype=np.int64)
+        if train.shape[0] == 0:
+            continue
+        unseen = np.setdiff1d(np.arange(dataset.num_items), train)
+        gaps.append(scores[user, train].mean() - scores[user, unseen].mean())
+    assert np.mean(gaps) > 0.2, criterion.name
+
+
+def test_bpr_loss_decreases_with_margin():
+    """-log sigmoid(margin): bigger positive-negative margin, lower loss."""
+    from repro.autodiff import functional as F
+
+    small = -F.log_sigmoid(Tensor(np.array([0.1]))).item()
+    large = -F.log_sigmoid(Tensor(np.array([3.0]))).item()
+    assert large < small
+
+
+def test_setrank_loss_decreases_with_more_separated_positive(world):
+    """SetRank's permutation probability increases when the positive
+    pulls ahead of its negative set."""
+    dataset, split = world
+    criterion = SetRankCriterion(num_negatives=3)
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=1)
+    batch = [(0, 1, np.array([2, 3, 4]))]
+    base = criterion.batch_loss(model, model.representations(), batch).item()
+    # Push item 1 toward user 0's direction.
+    model.item_embedding.weight.data[1] += model.user_embedding.weight.data[0] * 20
+    better = criterion.batch_loss(model, model.representations(), batch).item()
+    assert better < base
+
+
+def test_s2srank_margin_increases_set_level_pressure(world):
+    """A larger set-to-set margin strictly increases the loss."""
+    dataset, split = world
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=2)
+    batch = Set2SetRankCriterion(k=3, n=3).make_sampler(split).instances(
+        np.random.default_rng(3)
+    )[:8]
+    small = Set2SetRankCriterion(k=3, n=3, margin=0.1).batch_loss(
+        model, model.representations(), batch
+    )
+    large = Set2SetRankCriterion(k=3, n=3, margin=2.0).batch_loss(
+        model, model.representations(), batch
+    )
+    assert large.item() > small.item()
+
+
+def test_s2srank_weights_compose_linearly(world):
+    """Component weights scale their terms (sanity of the 3-part loss)."""
+    dataset, split = world
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=3)
+    batch = Set2SetRankCriterion(k=3, n=3).make_sampler(split).instances(
+        np.random.default_rng(4)
+    )[:6]
+    reprs = model.representations()
+    full = Set2SetRankCriterion(k=3, n=3).batch_loss(model, reprs, batch).item()
+    item_only = Set2SetRankCriterion(
+        k=3, n=3, item_set_weight=0.0, set_weight=0.0
+    ).batch_loss(model, reprs, batch).item()
+    set_only = Set2SetRankCriterion(
+        k=3, n=3, item_weight=0.0, item_set_weight=0.0
+    ).batch_loss(model, reprs, batch).item()
+    middle_only = Set2SetRankCriterion(
+        k=3, n=3, item_weight=0.0, set_weight=0.0
+    ).batch_loss(model, reprs, batch).item()
+    assert np.isclose(full, item_only + set_only + middle_only, rtol=1e-8)

@@ -1,0 +1,180 @@
+"""Tests for the synthetic generators and instance samplers."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GroundSetSampler,
+    OneVsSetSampler,
+    PairSampler,
+    PointwiseSampler,
+    SetPairSampler,
+    SyntheticConfig,
+    anime_like,
+    beauty_like,
+    generate_dataset,
+    movielens_like,
+)
+
+
+def test_generator_determinism():
+    a = generate_dataset(SyntheticConfig(num_users=30, num_items=40, seed=7))
+    b = generate_dataset(SyntheticConfig(num_users=30, num_items=40, seed=7))
+    assert np.array_equal(a.interactions, b.interactions)
+    assert a.item_categories == b.item_categories
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        generate_dataset(SyntheticConfig(num_users=0))
+
+
+def test_presets_preserve_paper_axes():
+    beauty = beauty_like(scale=0.4)
+    ml = movielens_like(scale=0.4)
+    anime = anime_like(scale=0.4)
+    # Category richness ordering: Beauty > Anime > ML (213 > 43 > 18).
+    assert beauty.num_categories > anime.num_categories > ml.num_categories
+    # Density ordering: Beauty < Anime < ML.
+    assert beauty.density < anime.density < ml.density
+
+
+def test_items_are_multilabel_where_configured():
+    beauty = beauty_like(scale=0.4)
+    label_counts = [len(c) for c in beauty.item_categories]
+    assert max(label_counts) >= 2  # multi-label items exist
+    assert min(label_counts) >= 1  # every item has a primary category
+
+
+def test_timestamps_give_sticky_category_sequences():
+    # With high stickiness, consecutive items share categories far more
+    # often than random pairs would.
+    config = SyntheticConfig(
+        num_users=40, num_items=80, num_categories=20,
+        sequence_stickiness=0.9, mean_interactions=20, seed=3,
+    )
+    ds = generate_dataset(config)
+    histories = ds.user_histories()
+    adjacent_same, adjacent_total = 0, 0
+    for history in histories:
+        for a, b in zip(history[:-1], history[1:]):
+            adjacent_total += 1
+            if ds.item_categories[int(a)] & ds.item_categories[int(b)]:
+                adjacent_same += 1
+    rng = np.random.default_rng(0)
+    random_same, random_total = 0, 2000
+    for _ in range(random_total):
+        i, j = rng.integers(0, ds.num_items, size=2)
+        if ds.item_categories[int(i)] & ds.item_categories[int(j)]:
+            random_same += 1
+    assert adjacent_same / adjacent_total > random_same / random_total + 0.1
+
+
+def _prepared_split(seed=0):
+    ds = movielens_like(scale=0.35).filter_min_interactions(5)
+    return ds, ds.split(np.random.default_rng(seed))
+
+
+def test_ground_set_sampler_validation():
+    _, split = _prepared_split()
+    with pytest.raises(ValueError):
+        GroundSetSampler(split, k=1, n=5)
+    with pytest.raises(ValueError):
+        GroundSetSampler(split, k=5, n=0)
+    with pytest.raises(ValueError):
+        GroundSetSampler(split, mode="X")
+
+
+def test_ground_set_instances_shape_and_exclusion():
+    _, split = _prepared_split()
+    sampler = GroundSetSampler(split, k=4, n=3, mode="S")
+    for instance in sampler.instances(np.random.default_rng(1)):
+        assert instance.k == 4 and instance.n == 3
+        assert instance.ground_set.shape == (7,)
+        targets = set(map(int, instance.targets))
+        assert targets <= split.train_set(instance.user)
+        negatives = set(map(int, instance.negatives))
+        assert not negatives & split.known_set(instance.user)
+        assert not negatives & targets
+
+
+def test_s_mode_covers_every_training_item():
+    _, split = _prepared_split()
+    sampler = GroundSetSampler(split, k=5, n=5, mode="S")
+    covered: dict[int, set] = {}
+    for instance in sampler.instances(np.random.default_rng(2)):
+        covered.setdefault(instance.user, set()).update(map(int, instance.targets))
+    for user in sampler.eligible_users:
+        assert covered[int(user)] == split.train_set(int(user))
+
+
+def test_s_mode_windows_follow_temporal_order():
+    _, split = _prepared_split()
+    sampler = GroundSetSampler(split, k=3, n=2, mode="S")
+    instances = sampler.instances(np.random.default_rng(3))
+    by_user: dict[int, list] = {}
+    for inst in instances:
+        by_user.setdefault(inst.user, []).append(inst.targets)
+    user, windows = next(iter(by_user.items()))
+    train = list(map(int, split.train[user]))
+    positions = [train.index(int(t)) for t in windows[0]]
+    assert positions == sorted(positions)  # window preserves order
+
+
+def test_r_mode_differs_from_s_mode_but_same_budget():
+    _, split = _prepared_split()
+    s_instances = GroundSetSampler(split, k=4, n=4, mode="S").instances(
+        np.random.default_rng(4)
+    )
+    r_instances = GroundSetSampler(split, k=4, n=4, mode="R").instances(
+        np.random.default_rng(4)
+    )
+    assert len(s_instances) == len(r_instances)
+    s_sets = {(inst.user, tuple(sorted(map(int, inst.targets)))) for inst in s_instances}
+    r_sets = {(inst.user, tuple(sorted(map(int, inst.targets)))) for inst in r_instances}
+    assert s_sets != r_sets
+
+
+def test_instance_budget_not_greater_than_bpr():
+    # ceil(|train| / k) set instances vs |train| BPR pairs.
+    _, split = _prepared_split()
+    ground = GroundSetSampler(split, k=5, n=5).instances(np.random.default_rng(5))
+    pairs = PairSampler(split).instances(np.random.default_rng(5))
+    assert len(ground) <= len(pairs)
+
+
+def test_pair_sampler_negatives_unobserved():
+    _, split = _prepared_split()
+    for user, positive, negative in PairSampler(split).instances(np.random.default_rng(6)):
+        assert positive in split.train_set(user)
+        assert negative not in split.known_set(user)
+
+
+def test_pointwise_sampler_label_ratio():
+    _, split = _prepared_split()
+    sampler = PointwiseSampler(split, negative_ratio=2)
+    instances = sampler.instances(np.random.default_rng(7))
+    positives = sum(1 for _, _, label in instances if label == 1.0)
+    negatives = sum(1 for _, _, label in instances if label == 0.0)
+    assert negatives == 2 * positives
+    with pytest.raises(ValueError):
+        PointwiseSampler(split, negative_ratio=0)
+
+
+def test_one_vs_set_sampler():
+    _, split = _prepared_split()
+    sampler = OneVsSetSampler(split, num_negatives=4)
+    for user, positive, negatives in sampler.instances(np.random.default_rng(8)):
+        assert positive in split.train_set(user)
+        assert negatives.shape == (4,)
+        assert not set(map(int, negatives)) & split.known_set(user)
+
+
+def test_set_pair_sampler_budget_and_shapes():
+    _, split = _prepared_split()
+    sampler = SetPairSampler(split, k=4, n=3)
+    instances = sampler.instances(np.random.default_rng(9))
+    ground = GroundSetSampler(split, k=4, n=3).instances(np.random.default_rng(9))
+    assert len(instances) == len(ground)
+    for user, positives, negatives in instances:
+        assert positives.shape == (4,) and negatives.shape == (3,)

@@ -1,0 +1,137 @@
+"""Tests for the training harness and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.data import movielens_like
+from repro.dpp import category_jaccard_kernel
+from repro.losses import BPRCriterion, make_lkp_variant
+from repro.models import MFRecommender
+from repro.train import TrainConfig, Trainer, grid_search
+
+
+@pytest.fixture(scope="module")
+def world():
+    dataset = movielens_like(scale=0.35).filter_min_interactions(5)
+    split = dataset.split(np.random.default_rng(0))
+    kernel = category_jaccard_kernel(dataset.item_categories, scale=0.8, floor=0.2)
+    diag = np.sqrt(np.diagonal(kernel))
+    return dataset, split, kernel / np.outer(diag, diag)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TrainConfig(epochs=0)
+    with pytest.raises(ValueError):
+        TrainConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        TrainConfig(monitor="XX@5")
+    # Monitor cutoff auto-added to cutoffs.
+    config = TrainConfig(monitor="Nd@7", cutoffs=(5,))
+    assert 7 in config.cutoffs
+
+
+def test_training_reduces_loss(world):
+    dataset, split, _ = world
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=0)
+    trainer = Trainer(
+        model, BPRCriterion(), split,
+        TrainConfig(epochs=10, lr=0.05, batch_size=64, patience=0, seed=1),
+    )
+    result = trainer.fit()
+    losses = result.losses()
+    assert losses[-1] < losses[0]
+    assert result.epochs_run == 10
+
+
+def test_validation_tracking_and_best_epoch(world):
+    dataset, split, _ = world
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=1)
+    trainer = Trainer(
+        model, BPRCriterion(), split,
+        TrainConfig(epochs=8, lr=0.05, batch_size=64, patience=0, seed=2),
+    )
+    result = trainer.fit()
+    assert 1 <= result.best_epoch <= 8
+    assert result.best_value > 0
+    assert result.epochs_to_best == result.best_epoch
+    validated = [r for r in result.history if r.val_metrics is not None]
+    assert len(validated) == 8
+
+
+def test_early_stopping_halts_training(world):
+    dataset, split, _ = world
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=2)
+    trainer = Trainer(
+        model, BPRCriterion(), split,
+        TrainConfig(epochs=200, lr=0.05, batch_size=64, patience=3, seed=3),
+    )
+    result = trainer.fit()
+    assert result.epochs_run < 200
+
+
+def test_best_state_restored_after_training(world):
+    dataset, split, _ = world
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=3)
+    trainer = Trainer(
+        model, BPRCriterion(), split,
+        TrainConfig(epochs=12, lr=0.1, batch_size=64, patience=0, seed=4),
+    )
+    result = trainer.fit()
+    from repro.eval import evaluate_model
+
+    final_val = evaluate_model(model, split, cutoffs=(5,), target="val")
+    assert np.isclose(final_val["Nd@5"], result.best_value, rtol=1e-9)
+
+
+def test_epoch_callback_receives_epoch_zero(world):
+    dataset, split, _ = world
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=4)
+    seen = []
+    trainer = Trainer(
+        model, BPRCriterion(), split,
+        TrainConfig(epochs=3, lr=0.05, batch_size=64, patience=0, seed=5),
+        epoch_callback=lambda epoch, m: seen.append(epoch),
+    )
+    trainer.fit()
+    assert seen == [0, 1, 2, 3]
+
+
+def test_lkp_end_to_end_training_improves_over_init(world):
+    dataset, split, kernel = world
+    from repro.eval import evaluate_model
+
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=5)
+    initial = evaluate_model(model, split, cutoffs=(5,), target="test")["Nd@5"]
+    criterion = make_lkp_variant("NPS", diversity_kernel=kernel, k=3, n=3)
+    trainer = Trainer(
+        model, criterion, split,
+        TrainConfig(epochs=25, lr=0.1, batch_size=32, patience=0, seed=6),
+    )
+    trainer.fit()
+    final = trainer.evaluate(target="test")["Nd@5"]
+    assert final > initial
+
+
+def test_grid_search_selects_best_point(world):
+    dataset, split, _ = world
+    base = TrainConfig(epochs=5, batch_size=64, patience=0, seed=7)
+    best, trace = grid_search(
+        model_factory=lambda: MFRecommender(dataset.num_users, dataset.num_items, dim=8, rng=6),
+        criterion_factory=BPRCriterion,
+        split=split,
+        base_config=base,
+        grid={"lr": [0.001, 0.05]},
+    )
+    assert len(trace) == 2
+    assert best.value == max(point.value for point in trace)
+    assert best.params["lr"] in (0.001, 0.05)
+
+
+def test_grid_search_validation(world):
+    dataset, split, _ = world
+    base = TrainConfig(epochs=2)
+    with pytest.raises(ValueError):
+        grid_search(lambda: None, BPRCriterion, split, base, {})
+    with pytest.raises(ValueError):
+        grid_search(lambda: None, BPRCriterion, split, base, {"bogus": [1]})

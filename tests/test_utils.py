@@ -1,0 +1,99 @@
+"""Tests for the utility modules (rng, topk, timing)."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    Stopwatch,
+    ensure_rng,
+    rank_of_items,
+    seeded_children,
+    spawn,
+    timed,
+    top_k_indices,
+)
+
+
+def test_ensure_rng_accepts_all_forms():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+    assert isinstance(ensure_rng(42), np.random.Generator)
+    g = np.random.default_rng(0)
+    assert ensure_rng(g) is g
+
+
+def test_ensure_rng_seed_determinism():
+    a = ensure_rng(7).integers(0, 1000, size=5)
+    b = ensure_rng(7).integers(0, 1000, size=5)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_children_independent_and_reproducible():
+    children_a = spawn(np.random.default_rng(1), 3)
+    children_b = spawn(np.random.default_rng(1), 3)
+    for a, b in zip(children_a, children_b):
+        assert np.array_equal(a.integers(0, 100, 5), b.integers(0, 100, 5))
+    # Different children produce different streams.
+    fresh = spawn(np.random.default_rng(1), 2)
+    assert not np.array_equal(fresh[0].integers(0, 100, 5), fresh[1].integers(0, 100, 5))
+
+
+def test_seeded_children_named():
+    children = seeded_children(3, ["data", "model"])
+    assert set(children) == {"data", "model"}
+
+
+def test_top_k_basic_ordering():
+    scores = np.array([0.1, 0.9, 0.5, 0.7])
+    assert top_k_indices(scores, 2).tolist() == [1, 3]
+    assert top_k_indices(scores, 10).tolist() == [1, 3, 2, 0]
+
+
+def test_top_k_exclusion():
+    scores = np.array([0.9, 0.8, 0.7, 0.6])
+    top = top_k_indices(scores, 2, exclude=np.array([0, 1]))
+    assert top.tolist() == [2, 3]
+
+
+def test_top_k_all_excluded():
+    scores = np.array([1.0, 2.0])
+    assert top_k_indices(scores, 2, exclude=np.array([0, 1])).shape == (0,)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(-100, 100), min_size=1, max_size=30, unique=True), st.integers(1, 10))
+def test_top_k_matches_argsort(values, k):
+    scores = np.array(values)
+    expected = np.argsort(-scores)[: min(k, len(values))]
+    assert top_k_indices(scores, k).tolist() == expected.tolist()
+
+
+def test_rank_of_items():
+    scores = np.array([0.2, 0.9, 0.5])
+    ranks = rank_of_items(scores, np.array([1, 0, 2]))
+    assert ranks.tolist() == [0, 2, 1]
+
+
+def test_stopwatch_accumulates():
+    watch = Stopwatch()
+    watch.start()
+    time.sleep(0.01)
+    first = watch.stop()
+    assert first > 0
+    watch.start()
+    time.sleep(0.01)
+    assert watch.stop() > first
+    with pytest.raises(RuntimeError):
+        watch.stop()
+    watch.start()
+    with pytest.raises(RuntimeError):
+        watch.start()
+
+
+def test_timed_context():
+    with timed() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.01

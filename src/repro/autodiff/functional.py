@@ -6,6 +6,12 @@ submatrices (Eq. 5 in the paper), traces of matrix powers (used by the
 Newton-identity form of the k-DPP normalization, Eq. 6), softmax-family
 reductions for the SetRank baseline and classifier heads, and embedding
 gathers for all recommendation models.
+
+The linear-algebra ops (``trace``, ``logdet_psd``, ``diag_embed``,
+``diagonal``, ``eigh``, ``gather_submatrices``) all accept *stacked*
+operands with arbitrary leading batch axes, so a whole minibatch of
+``(k + n) x (k + n)`` ground-set kernels can flow through one fused
+graph instead of B independent per-instance graphs.
 """
 
 from __future__ import annotations
@@ -29,8 +35,11 @@ __all__ = [
     "concat",
     "stack",
     "gather_rows",
+    "gather_submatrices",
     "trace",
     "diag_embed",
+    "diagonal",
+    "eigh",
     "logdet_psd",
     "slogdet",
     "matrix_inverse",
@@ -137,33 +146,123 @@ def gather_rows(table: Tensor, indices: np.ndarray) -> Tensor:
     return Tensor._make(value, (table,), backward)
 
 
-def diag_embed(vector: Tensor) -> Tensor:
-    """Build a diagonal matrix from a vector (``Diag(y_u)`` of Eq. 2)."""
-    vector = as_tensor(vector)
-    if vector.ndim != 1:
-        raise ValueError(f"diag_embed expects a vector, got shape {vector.shape}")
-    n = vector.shape[0]
-    data = np.zeros((n, n), dtype=np.float64)
-    np.fill_diagonal(data, vector.data)
+def gather_submatrices(kernel: Tensor, subsets: np.ndarray) -> Tensor:
+    """Batched principal-submatrix gather ``kernel[b][ix_(S_b, S_b)]``.
+
+    ``kernel`` is a stacked ``(B, m, m)`` tensor and ``subsets`` an integer
+    ``(B, s)`` array of per-instance index sets; the result is ``(B, s, s)``.
+    The backward pass scatter-adds, so repeated indices within a subset
+    accumulate correctly (mirroring :func:`gather_rows`).
+    """
+    kernel = as_tensor(kernel)
+    subsets = np.asarray(subsets, dtype=np.int64)
+    if kernel.ndim != 3:
+        raise ValueError(f"gather_submatrices expects (B, m, m), got {kernel.shape}")
+    if subsets.ndim != 2 or subsets.shape[0] != kernel.shape[0]:
+        raise ValueError(
+            f"subsets shape {subsets.shape} does not match batch of {kernel.shape[0]}"
+        )
+    index = (
+        np.arange(kernel.shape[0])[:, None, None],
+        subsets[:, :, None],
+        subsets[:, None, :],
+    )
+    kernel_shape = kernel.shape
 
     def backward(g: np.ndarray):
-        return ((vector, np.diagonal(g).copy()),)
+        grad = np.zeros(kernel_shape, dtype=np.float64)
+        np.add.at(grad, index, g)
+        return ((kernel, grad),)
+
+    return Tensor._make(kernel.data[index], (kernel,), backward)
+
+
+def diag_embed(vector: Tensor) -> Tensor:
+    """Build (stacked) diagonal matrices from (stacked) vectors.
+
+    A ``(..., m)`` input yields ``(..., m, m)`` output — the batched form
+    of ``Diag(y_u)`` from Eq. 2.
+    """
+    vector = as_tensor(vector)
+    if vector.ndim < 1:
+        raise ValueError(f"diag_embed expects a vector, got shape {vector.shape}")
+    n = vector.shape[-1]
+    rows = np.arange(n)
+    data = np.zeros(vector.shape + (n,), dtype=np.float64)
+    data[..., rows, rows] = vector.data
+
+    def backward(g: np.ndarray):
+        return ((vector, g[..., rows, rows]),)
 
     return Tensor._make(data, (vector,), backward)
+
+
+def diagonal(matrix: Tensor) -> Tensor:
+    """Diagonals of (stacked) square matrices: ``(..., m, m) -> (..., m)``."""
+    matrix = as_tensor(matrix)
+    if matrix.ndim < 2 or matrix.shape[-1] != matrix.shape[-2]:
+        raise ValueError(f"diagonal expects square matrices, got {matrix.shape}")
+    n = matrix.shape[-1]
+    rows = np.arange(n)
+    matrix_shape = matrix.shape
+
+    def backward(g: np.ndarray):
+        grad = np.zeros(matrix_shape, dtype=np.float64)
+        grad[..., rows, rows] = g
+        return ((matrix, grad),)
+
+    return Tensor._make(matrix.data[..., rows, rows].copy(), (matrix,), backward)
 
 
 # ----------------------------------------------------------------------
 # Linear algebra
 # ----------------------------------------------------------------------
 def trace(matrix: Tensor) -> Tensor:
-    """Trace of a square matrix; backward adds the gradient to the diagonal."""
+    """Trace of (stacked) square matrices; backward adds to the diagonals.
+
+    ``(m, m)`` input yields a scalar, ``(..., m, m)`` input a ``(...)``
+    tensor of per-matrix traces.
+    """
     matrix = as_tensor(matrix)
     n = matrix.shape[-1]
 
     def backward(g: np.ndarray):
-        return ((matrix, float(g) * np.eye(n)),)
+        grad = np.asarray(g, dtype=np.float64)[..., None, None] * np.eye(n)
+        return ((matrix, grad),)
 
-    return Tensor._make(np.trace(matrix.data), (matrix,), backward)
+    return Tensor._make(
+        np.trace(matrix.data, axis1=-2, axis2=-1), (matrix,), backward
+    )
+
+
+def eigh(matrix: Tensor) -> tuple[Tensor, np.ndarray]:
+    """Eigendecomposition of (stacked) symmetric matrices.
+
+    Returns ``(eigenvalues, eigenvectors)`` for a ``(..., m, m)`` input:
+    the eigenvalues as a differentiable ``(..., m)`` tensor in ascending
+    order, the eigenvectors as a plain ndarray (columns of the trailing
+    two axes).  The input is symmetrized before factorization.
+
+    Only *eigenvalue* gradients propagate: with ``g`` the upstream
+    gradient on the spectrum, the kernel gradient is
+    ``U diag(g) U^T``.  For symmetric spectral functions (log-det, the
+    ESP normalizer, any function of the eigenvalues alone) this is the
+    exact total derivative — even with degenerate eigenvalues — because
+    eigenvector rotations within an eigenspace leave the function
+    unchanged.  Downstream code must not differentiate through the
+    returned eigenvectors, which is why they come back as a raw array.
+    """
+    matrix = as_tensor(matrix)
+    if matrix.ndim < 2 or matrix.shape[-1] != matrix.shape[-2]:
+        raise ValueError(f"eigh expects square matrices, got {matrix.shape}")
+    symmetrized = 0.5 * (matrix.data + np.swapaxes(matrix.data, -1, -2))
+    eigenvalues, eigenvectors = np.linalg.eigh(symmetrized)
+
+    def backward(g: np.ndarray):
+        grad = (eigenvectors * g[..., None, :]) @ np.swapaxes(eigenvectors, -1, -2)
+        return ((matrix, grad),)
+
+    return Tensor._make(eigenvalues, (matrix,), backward), eigenvectors
 
 
 def matrix_inverse(matrix: Tensor) -> Tensor:
@@ -190,12 +289,14 @@ def slogdet(matrix: Tensor) -> tuple[float, Tensor]:
 
 
 def logdet_psd(matrix: Tensor, jitter: float = 1e-10) -> Tensor:
-    """Log-determinant of a (near-)PSD matrix via Cholesky.
+    """Log-determinant of (stacked) (near-)PSD matrices via Cholesky.
 
     DPP submatrices ``L_S`` are PSD by construction but can be numerically
     singular when two items are near-duplicates; ``jitter`` is added to the
     diagonal before factorization.  Gradient: ``d logdet(A)/dA = A^{-1}``
-    (symmetric case).
+    (symmetric case).  A ``(..., m, m)`` input yields ``(...)`` per-matrix
+    log-determinants — the batched LkP path factorizes a whole minibatch
+    of target blocks in one stacked Cholesky call.
     """
     matrix = as_tensor(matrix)
     n = matrix.shape[-1]
@@ -208,11 +309,11 @@ def logdet_psd(matrix: Tensor, jitter: float = 1e-10) -> Tensor:
             f"after jitter={jitter}; smallest eigenvalue "
             f"{np.linalg.eigvalsh(stabilized).min():.3e}"
         ) from err
-    logdet = 2.0 * np.log(np.diagonal(chol)).sum()
+    logdet = 2.0 * np.log(np.diagonal(chol, axis1=-2, axis2=-1)).sum(axis=-1)
     inv = np.linalg.inv(stabilized)
 
     def backward(g: np.ndarray):
-        return ((matrix, float(g) * inv),)
+        return ((matrix, np.asarray(g, dtype=np.float64)[..., None, None] * inv),)
 
     return Tensor._make(np.asarray(logdet), (matrix,), backward)
 

@@ -140,6 +140,14 @@ class Tensor:
     def T(self) -> "Tensor":
         return self.transpose()
 
+    @property
+    def mT(self) -> "Tensor":
+        """Transpose of the last two axes (batched matrix transpose)."""
+        if self.ndim < 2:
+            raise ValueError(f"mT requires at least 2 dimensions, got {self.ndim}")
+        axes = tuple(range(self.ndim - 2)) + (self.ndim - 1, self.ndim - 2)
+        return self.transpose(axes)
+
     def item(self) -> float:
         """Return the value of a size-1 tensor as a Python float."""
         return float(self.data.item())

@@ -22,6 +22,9 @@ from .diversity_kernel import (
     category_jaccard_kernel,
 )
 from .esp import (
+    batched_differentiable_log_esp,
+    batched_esp_leave_one_out,
+    batched_esp_table,
     differentiable_esps,
     differentiable_log_esp,
     differentiable_log_esp_newton,
@@ -31,9 +34,17 @@ from .esp import (
     esp_leave_one_out,
     esp_table,
 )
-from .kdpp import KDPP, StandardDPP, log_kdpp_probability, validate_psd_kernel
+from .kdpp import (
+    KDPP,
+    StandardDPP,
+    batched_log_kdpp_probability,
+    log_kdpp_probability,
+    validate_psd_kernel,
+)
 from .kernels import (
     QUALITY_TRANSFORMS,
+    batched_gaussian_similarity_kernel,
+    batched_quality_diversity_kernel,
     exp_quality,
     gaussian_similarity_kernel,
     gaussian_similarity_kernel_np,
@@ -48,6 +59,7 @@ __all__ = [
     "KDPP",
     "StandardDPP",
     "log_kdpp_probability",
+    "batched_log_kdpp_probability",
     "validate_psd_kernel",
     "elementary_symmetric_polynomials",
     "esp_table",
@@ -57,10 +69,15 @@ __all__ = [
     "differentiable_log_esp",
     "differentiable_log_esp_newton",
     "esp_leave_one_out",
+    "batched_esp_table",
+    "batched_esp_leave_one_out",
+    "batched_differentiable_log_esp",
     "quality_diversity_kernel",
     "quality_diversity_kernel_np",
+    "batched_quality_diversity_kernel",
     "gaussian_similarity_kernel",
     "gaussian_similarity_kernel_np",
+    "batched_gaussian_similarity_kernel",
     "exp_quality",
     "sigmoid_quality",
     "identity_quality",

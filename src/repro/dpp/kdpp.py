@@ -23,22 +23,40 @@ import numpy as np
 
 from ..autodiff import Tensor, functional as F
 from .esp import (
+    batched_differentiable_log_esp,
     differentiable_log_esp,
     elementary_symmetric_polynomials,
     esp_table,
 )
 
-__all__ = ["KDPP", "StandardDPP", "log_kdpp_probability", "validate_psd_kernel"]
+__all__ = [
+    "KDPP",
+    "StandardDPP",
+    "log_kdpp_probability",
+    "batched_log_kdpp_probability",
+    "validate_psd_kernel",
+]
 
 
-def validate_psd_kernel(kernel: np.ndarray, tol: float = 1e-8) -> np.ndarray:
-    """Check symmetry and positive semi-definiteness of a DPP kernel."""
+def validate_psd_kernel(
+    kernel: np.ndarray,
+    tol: float = 1e-8,
+    eigenvalues: np.ndarray | None = None,
+) -> np.ndarray:
+    """Check symmetry and positive semi-definiteness of a DPP kernel.
+
+    Callers that eigendecompose the kernel anyway (both DPP constructors,
+    the batched training path) pass their ``eigenvalues`` in so validation
+    reuses the spectrum instead of running a second ``eigvalsh``.
+    """
     kernel = np.asarray(kernel, dtype=np.float64)
     if kernel.ndim != 2 or kernel.shape[0] != kernel.shape[1]:
         raise ValueError(f"kernel must be square, got shape {kernel.shape}")
     if not np.allclose(kernel, kernel.T, atol=tol):
         raise ValueError("kernel must be symmetric")
-    smallest = np.linalg.eigvalsh(kernel).min()
+    if eigenvalues is None:
+        eigenvalues = np.linalg.eigvalsh(kernel)
+    smallest = float(np.min(eigenvalues))
     if smallest < -tol * max(1.0, np.abs(kernel).max()):
         raise ValueError(
             f"kernel must be positive semi-definite (min eigenvalue {smallest:.3e})"
@@ -60,8 +78,14 @@ class KDPP:
     """
 
     def __init__(self, kernel: np.ndarray, k: int, validate: bool = True) -> None:
+        kernel = np.asarray(kernel, dtype=np.float64)
+        if kernel.ndim != 2 or kernel.shape[0] != kernel.shape[1]:
+            raise ValueError(f"kernel must be square, got shape {kernel.shape}")
+        eigenvalues, eigenvectors = np.linalg.eigh(kernel)
+        # Validation reuses the spectrum: one eigh serves both the PSD
+        # check and the normalizer/sampler tables.
         self.kernel = (
-            validate_psd_kernel(kernel) if validate else np.asarray(kernel, dtype=np.float64)
+            validate_psd_kernel(kernel, eigenvalues=eigenvalues) if validate else kernel
         )
         self.ground_size = self.kernel.shape[0]
         if not 1 <= k <= self.ground_size:
@@ -69,9 +93,9 @@ class KDPP:
                 f"k must be in [1, {self.ground_size}], got {k}"
             )
         self.k = k
-        self._eigenvalues, self._eigenvectors = np.linalg.eigh(self.kernel)
+        self._eigenvectors = eigenvectors
         # Clip tiny negative eigenvalues produced by floating point.
-        self._eigenvalues = np.clip(self._eigenvalues, 0.0, None)
+        self._eigenvalues = np.clip(eigenvalues, 0.0, None)
         self._normalizer = elementary_symmetric_polynomials(self._eigenvalues, k)
 
     # ------------------------------------------------------------------
@@ -184,12 +208,16 @@ class StandardDPP:
     """
 
     def __init__(self, kernel: np.ndarray, validate: bool = True) -> None:
+        kernel = np.asarray(kernel, dtype=np.float64)
+        if kernel.ndim != 2 or kernel.shape[0] != kernel.shape[1]:
+            raise ValueError(f"kernel must be square, got shape {kernel.shape}")
+        eigenvalues, eigenvectors = np.linalg.eigh(kernel)
         self.kernel = (
-            validate_psd_kernel(kernel) if validate else np.asarray(kernel, dtype=np.float64)
+            validate_psd_kernel(kernel, eigenvalues=eigenvalues) if validate else kernel
         )
         self.ground_size = self.kernel.shape[0]
-        self._eigenvalues, self._eigenvectors = np.linalg.eigh(self.kernel)
-        self._eigenvalues = np.clip(self._eigenvalues, 0.0, None)
+        self._eigenvectors = eigenvectors
+        self._eigenvalues = np.clip(eigenvalues, 0.0, None)
         self._log_normalizer = float(np.log1p(self._eigenvalues).sum())
 
     @property
@@ -255,9 +283,38 @@ def log_kdpp_probability(kernel: Tensor, subset: Sequence[int], k: int) -> Tenso
     tensor holding the personalized ground-set kernel, so gradients flow
     into the model's quality scores (and into item embeddings for the
     E-variant kernels).
+
+    A stacked ``(B, m, m)`` kernel with a ``(B, k)`` subset array routes
+    through :func:`batched_log_kdpp_probability`, returning all B
+    log-probabilities from one fused graph.
     """
+    if kernel.ndim == 3:
+        return batched_log_kdpp_probability(kernel, np.asarray(subset), k)
     subset = [int(i) for i in subset]
     if len(subset) != k:
         raise ValueError(f"subset size {len(subset)} != k={k}")
     sub = kernel[np.ix_(subset, subset)]
     return F.logdet_psd(sub) - differentiable_log_esp(kernel, k)
+
+
+def batched_log_kdpp_probability(
+    kernels: Tensor, subsets: np.ndarray, k: int
+) -> Tensor:
+    """``log P_k(S_b)`` for every kernel of a ``(B, m, m)`` stack (Eq. 4).
+
+    ``subsets`` is a ``(B, k)`` integer array of per-instance target
+    positions.  One stacked Cholesky covers all the numerators and one
+    stacked eigendecomposition (inside the batched ESP normalizer) covers
+    all the denominators, replacing B per-instance graphs with a single
+    fused one.
+    """
+    subsets = np.asarray(subsets, dtype=np.int64)
+    if kernels.ndim != 3:
+        raise ValueError(f"expected stacked (B, m, m) kernels, got {kernels.shape}")
+    if subsets.shape != (kernels.shape[0], k):
+        raise ValueError(
+            f"subsets shape {subsets.shape} does not match "
+            f"(batch={kernels.shape[0]}, k={k})"
+        )
+    sub = F.gather_submatrices(kernels, subsets)
+    return F.logdet_psd(sub) - batched_differentiable_log_esp(kernels, k)

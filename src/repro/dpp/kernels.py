@@ -21,8 +21,10 @@ from ..autodiff import Tensor, as_tensor
 __all__ = [
     "quality_diversity_kernel",
     "quality_diversity_kernel_np",
+    "batched_quality_diversity_kernel",
     "gaussian_similarity_kernel",
     "gaussian_similarity_kernel_np",
+    "batched_gaussian_similarity_kernel",
     "exp_quality",
     "sigmoid_quality",
     "identity_quality",
@@ -58,6 +60,31 @@ def quality_diversity_kernel(quality: Tensor, diversity: Tensor | np.ndarray) ->
     return column * diversity * row
 
 
+def batched_quality_diversity_kernel(
+    quality: Tensor, diversity: Tensor | np.ndarray
+) -> Tensor:
+    """Stacked Eq. 2: ``L_b = Diag(q_b) K_b Diag(q_b)`` for a whole batch.
+
+    ``quality`` is ``(B, m)``, ``diversity`` ``(B, m, m)`` (a fixed numpy
+    stack for the pre-learned kernels, a tensor for the E-variants).  The
+    reweighting is a pair of broadcast multiplies, so one graph node
+    covers what the per-instance path spreads over B kernel assemblies.
+    """
+    quality = as_tensor(quality)
+    if quality.ndim != 2:
+        raise ValueError(f"quality must be (B, m), got shape {quality.shape}")
+    batch, m = quality.shape
+    diversity = as_tensor(diversity)
+    if diversity.shape != (batch, m, m):
+        raise ValueError(
+            f"diversity stack shape {diversity.shape} does not match "
+            f"quality shape {quality.shape}"
+        )
+    column = quality.reshape(batch, m, 1)
+    row = quality.reshape(batch, 1, m)
+    return column * diversity * row
+
+
 def quality_diversity_kernel_np(quality: np.ndarray, diversity: np.ndarray) -> np.ndarray:
     """Numpy version of Eq. 2 for analysis-side code."""
     quality = np.asarray(quality, dtype=np.float64)
@@ -89,6 +116,35 @@ def gaussian_similarity_kernel(
         squared_norms.reshape(m, 1) + squared_norms.reshape(1, m) - gram * 2.0
     )
     # Floating point can make tiny distances slightly negative.
+    distances = distances.clip(0.0, np.inf)
+    kernel = (distances * (-0.5 / bandwidth**2)).exp()
+    return kernel + Tensor(jitter * np.eye(m))
+
+
+def batched_gaussian_similarity_kernel(
+    embeddings: Tensor, bandwidth: float = 1.0, jitter: float = 1e-6
+) -> Tensor:
+    """Stacked Gaussian kernels over per-instance embedding sets.
+
+    ``embeddings`` is ``(B, m, d)``; the result is a ``(B, m, m)`` stack of
+    RBF kernels, one per training instance, computed with a single batched
+    Gram matmul.  Numerics (distance clipping, diagonal jitter) mirror
+    :func:`gaussian_similarity_kernel` exactly so the fused E-variant path
+    matches the per-instance reference.
+    """
+    embeddings = as_tensor(embeddings)
+    if embeddings.ndim != 3:
+        raise ValueError(f"embeddings must be (B, m, d), got {embeddings.shape}")
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    batch, m, _ = embeddings.shape
+    squared_norms = (embeddings * embeddings).sum(axis=2)
+    gram = embeddings @ embeddings.mT
+    distances = (
+        squared_norms.reshape(batch, m, 1)
+        + squared_norms.reshape(batch, 1, m)
+        - gram * 2.0
+    )
     distances = distances.clip(0.0, np.inf)
     kernel = (distances * (-0.5 / bandwidth**2)).exp()
     return kernel + Tensor(jitter * np.eye(m))

@@ -18,7 +18,6 @@ import numpy as np
 
 from ..dpp.kdpp import KDPP
 from ..dpp.kernels import quality_diversity_kernel_np
-from ..eval.probability_analysis import ground_set_kernel_np
 from ..utils.topk import top_k_indices
 from .common import SCALES, CellResult, ExperimentScale, prepare_dataset, run_cell
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..data import DATASET_FACTORIES
 from .common import (
     SCALES,
     CellResult,

@@ -21,7 +21,7 @@ satisfying the :class:`~repro.losses.base.Criterion` interface:
 
 from .base import Criterion
 from .gradients import AnalyticLkPGradients, build_mf_kernel, lkp_analytic_gradients
-from .lkp import LKP_VARIANTS, LkPCriterion, make_lkp_variant
+from .lkp import LKP_BACKENDS, LKP_VARIANTS, LkPCriterion, make_lkp_variant
 from .pairwise import BPRCriterion
 from .pointwise import BCECriterion, GCMCNLLCriterion
 from .set2setrank import Set2SetRankCriterion
@@ -32,6 +32,7 @@ __all__ = [
     "LkPCriterion",
     "make_lkp_variant",
     "LKP_VARIANTS",
+    "LKP_BACKENDS",
     "BPRCriterion",
     "BCECriterion",
     "GCMCNLLCriterion",

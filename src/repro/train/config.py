@@ -33,6 +33,11 @@ class TrainConfig:
         Seed for shuffling / negative sampling during training.
     verbose:
         Print one line per validation.
+    loss_backend:
+        Minibatch evaluation strategy for criteria that support more than
+        one (currently LkP): ``"batched"`` for the fused stacked-kernel
+        path, ``"reference"`` for the per-instance loop, ``None`` to keep
+        the criterion's own default.
     """
 
     epochs: int = 30
@@ -45,8 +50,14 @@ class TrainConfig:
     cutoffs: tuple[int, ...] = (5, 10, 20)
     seed: int = 0
     verbose: bool = False
+    loss_backend: str | None = None
 
     def __post_init__(self) -> None:
+        if self.loss_backend not in (None, "batched", "reference"):
+            raise ValueError(
+                "loss_backend must be None, 'batched' or 'reference', "
+                f"got {self.loss_backend!r}"
+            )
         if self.epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
         if self.batch_size < 1:

@@ -72,6 +72,21 @@ class Trainer:
         self.epoch_callback = epoch_callback
 
     def fit(self) -> TrainResult:
+        # Thread the configured minibatch strategy into criteria that
+        # support one (LkP's fused batched path vs. reference loop),
+        # restoring afterwards so a shared criterion instance is not
+        # permanently reconfigured by one trainer's config.
+        override = self.config.loss_backend
+        if override is None or not hasattr(self.criterion, "backend"):
+            return self._fit()
+        original = self.criterion.backend
+        self.criterion.backend = override
+        try:
+            return self._fit()
+        finally:
+            self.criterion.backend = original
+
+    def _fit(self) -> TrainResult:
         config = self.config
         rng = ensure_rng(config.seed)
         optimizer = optim.Adam(

@@ -61,9 +61,19 @@ def test_diag_embed():
     assert np.allclose(v.grad, 2.0)
 
 
-def test_diag_embed_rejects_matrix():
+def test_diag_embed_stacks_leading_axes():
+    v = Tensor(np.arange(6, dtype=np.float64).reshape(2, 3), requires_grad=True)
+    m = F.diag_embed(v)
+    assert m.shape == (2, 3, 3)
+    for b in range(2):
+        assert np.allclose(m.data[b], np.diag(v.data[b]))
+    m.sum().backward()
+    assert np.allclose(v.grad, 1.0)
+
+
+def test_diag_embed_rejects_scalar():
     with pytest.raises(ValueError):
-        F.diag_embed(Tensor(np.ones((2, 2))))
+        F.diag_embed(Tensor(np.float64(3.0)))
 
 
 def test_trace_value_and_gradient():

@@ -120,9 +120,11 @@ def test_margin_bounds_collapse():
         np.linalg.eigvalsh(kernel[np.ix_(tn, tn)]).min() for _, tn in pairs[:40]
     )
     assert worst > -1e-8  # PSD maintained
+    def ld(s):
+        return np.linalg.slogdet(kernel[np.ix_(s, s)] + 1e-9 * np.eye(len(s)))[1]
+
     gaps = []
     for tp, tn in pairs[:40]:
-        ld = lambda s: np.linalg.slogdet(kernel[np.ix_(s, s)] + 1e-9 * np.eye(len(s)))[1]
         gaps.append(ld(tp) - ld(tn))
     # Bounded: gaps exist but are not astronomically large.
     assert 0.5 < np.mean(gaps) < 60.0

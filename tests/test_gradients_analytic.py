@@ -10,7 +10,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.autodiff import Tensor
 from repro.data import GroundSetInstance
 from repro.losses import LkPCriterion, build_mf_kernel, lkp_analytic_gradients
 from repro.models import MFRecommender

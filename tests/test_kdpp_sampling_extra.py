@@ -6,7 +6,6 @@ rather than just normalization.
 """
 
 import numpy as np
-import pytest
 
 from repro.dpp import KDPP, StandardDPP, esp_table
 

@@ -11,7 +11,6 @@ Each test pins a property the paper's construction relies on:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import GroundSetInstance, movielens_like
+from repro.data import movielens_like
 from repro.dpp import KDPP, category_jaccard_kernel
 from repro.eval.probability_analysis import ground_set_kernel_np
 from repro.losses import (

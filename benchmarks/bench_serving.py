@@ -1,0 +1,239 @@
+"""Catalog-scale k-DPP serving latency: dense O(M³) vs low-rank dual O(M r²).
+
+The serving path for one user is: build the personalized kernel's k-DPP
+(spectrum + normalizer), draw an exact sample (or run greedy MAP) over
+the catalog.  The dense path eigendecomposes the M×M kernel; the dual
+path (``KDPP.from_factors`` / ``greedy_map`` on a ``LowRankKernel``)
+works off the r×r dual kernel of the rank-32 factors the paper's kernels
+have by construction.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_serving.py`` — pytest-benchmark timings of
+  the two build+sample paths, plus a guard asserting the dual path is
+  strictly faster than dense (smoke mode) / ≥50x faster (full mode).
+* ``python benchmarks/bench_serving.py [--output BENCH_serving.json]`` —
+  times build+sample+MAP at M ∈ {1k, 10k, 50k} (dense only up to
+  ``--max-dense``, default 10k — the 50k dense eigendecomposition would
+  take hours) and writes the JSON baseline committed at the repo root.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) to shrink the
+workload to import-and-run-path coverage.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ is None and __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.dpp import KDPP, LowRankKernel, greedy_map
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def make_factors(num_items: int, rank: int, seed: int = 0) -> np.ndarray:
+    """Eq. 2 factors ``B = Diag(q) V``: unit-row diversity factors scaled
+    by exp-quality scores, the shape a trained LkP model serves with."""
+    rng = np.random.default_rng(seed)
+    diversity = rng.normal(size=(num_items, rank))
+    diversity /= np.linalg.norm(diversity, axis=1, keepdims=True)
+    quality = np.exp(rng.normal(scale=0.5, size=num_items))
+    return quality[:, None] * diversity
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_dense(factors: np.ndarray, k: int, map_k: int, repeats: int) -> dict:
+    """Dense serving path: materialize L = B Bᵀ, eigendecompose, sample, MAP."""
+    build = lambda: KDPP(factors @ factors.T, k, validate=False)  # noqa: E731
+    build_s = _best_of(build, repeats)
+    dpp = build()
+    sample_s = _best_of(lambda: dpp.sample(np.random.default_rng(1)), repeats)
+    map_s = _best_of(lambda: greedy_map(dpp.kernel, map_k), repeats)
+    return {"build_s": build_s, "sample_s": sample_s, "map_s": map_s}
+
+
+def bench_dual(factors: np.ndarray, k: int, map_k: int, repeats: int) -> dict:
+    """Dual serving path: r×r dual eigendecomposition, lifted sampling, factor MAP."""
+    build = lambda: KDPP.from_factors(factors, k)  # noqa: E731
+    build_s = _best_of(build, repeats)
+    dpp = build()
+    sample_s = _best_of(lambda: dpp.sample(np.random.default_rng(1)), repeats)
+    map_s = _best_of(lambda: greedy_map(LowRankKernel(factors), map_k), repeats)
+    return {"build_s": build_s, "sample_s": sample_s, "map_s": map_s}
+
+
+def _settings():
+    if _smoke():
+        return dict(sizes=(256,), rank=16, k=5, map_k=5, max_dense=256)
+    return dict(sizes=(1_000, 10_000, 50_000), rank=32, k=10, map_k=10, max_dense=10_000)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark targets
+# ----------------------------------------------------------------------
+def _pytest_workload():
+    if _smoke():
+        return make_factors(256, 16), 5, 5
+    return make_factors(2_000, 32), 10, 10
+
+
+def test_bench_serving_dense_build_sample(benchmark):
+    factors, k, _ = _pytest_workload()
+    kernel = factors @ factors.T
+
+    def dense_once():
+        return KDPP(kernel, k, validate=False).sample(np.random.default_rng(1))
+
+    assert len(benchmark(dense_once)) == k
+
+
+def test_bench_serving_dual_build_sample(benchmark):
+    factors, k, _ = _pytest_workload()
+
+    def dual_once():
+        return KDPP.from_factors(factors, k).sample(np.random.default_rng(1))
+
+    assert len(benchmark(dual_once)) == k
+
+
+def test_dual_is_faster():
+    """CI guard: the dual path must beat dense on build+sample.
+
+    Smoke mode (reduced size, shared runners) only requires *strictly*
+    faster, best-of-three so one GC pause cannot flip the verdict; full
+    mode holds the dual path to the ≥50x the baseline claims — at
+    M = 2000 the true gap is orders of magnitude, so the margin is wide.
+    """
+    factors, k, map_k = _pytest_workload()
+    repeats = 3
+    dense = bench_dense(factors, k, map_k, repeats)
+    dual = bench_dual(factors, k, map_k, repeats)
+    dense_total = dense["build_s"] + dense["sample_s"]
+    dual_total = dual["build_s"] + dual["sample_s"]
+    if _smoke():
+        assert dual_total < dense_total, (
+            f"dual path not faster: {dual_total:.4f}s vs dense {dense_total:.4f}s"
+        )
+        return
+    assert dual_total * 50 < dense_total, (
+        f"dual path below 50x: {dual_total:.4f}s vs dense {dense_total:.4f}s"
+    )
+
+
+def test_paths_agree():
+    """The timed paths must be computing the same distribution."""
+    factors, k, map_k = _pytest_workload()
+    dense = KDPP(factors @ factors.T, k, validate=False)
+    dual = KDPP.from_factors(factors, k)
+    subset = list(range(k))
+    assert np.isclose(
+        dense.log_subset_probability(subset),
+        dual.log_subset_probability(subset),
+        rtol=1e-9,
+        atol=1e-9,
+    )
+    assert greedy_map(dense.kernel, map_k) == greedy_map(LowRankKernel(factors), map_k)
+
+
+# ----------------------------------------------------------------------
+# Standalone baseline writer
+# ----------------------------------------------------------------------
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON baseline here (default: print only)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--max-dense",
+        type=int,
+        default=None,
+        help="largest M to run the dense path at (default: 10k full, all sizes smoke)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+
+    settings = _settings()
+    max_dense = args.max_dense if args.max_dense is not None else settings["max_dense"]
+    rank, k, map_k = settings["rank"], settings["k"], settings["map_k"]
+
+    results = {
+        "workload": "per-user k-DPP serving: build + exact sample + greedy MAP",
+        "settings": {
+            "rank": rank,
+            "k": k,
+            "map_k": map_k,
+            "max_dense": max_dense,
+            "repeats": args.repeats,
+        },
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "sizes": {},
+    }
+    header = (
+        f"{'M':>7} {'path':>6} {'build':>11} {'sample':>11} {'map':>11} "
+        f"{'build+sample speedup':>21}"
+    )
+    print(header)
+    print("-" * len(header))
+    for num_items in settings["sizes"]:
+        factors = make_factors(num_items, rank)
+        # The 10k dense eigendecomposition runs minutes on one core; a
+        # single repeat is signal enough at that scale.
+        dense_repeats = args.repeats if num_items <= 2_000 else 1
+        dual = bench_dual(factors, k, map_k, args.repeats)
+        entry = {"dual": {key: round(value, 6) for key, value in dual.items()}}
+        if num_items <= max_dense:
+            dense = bench_dense(factors, k, map_k, dense_repeats)
+            entry["dense"] = {key: round(value, 6) for key, value in dense.items()}
+            build_sample = (dense["build_s"] + dense["sample_s"]) / (
+                dual["build_s"] + dual["sample_s"]
+            )
+            entry["speedup_build_sample"] = round(build_sample, 2)
+            entry["speedup_map"] = round(dense["map_s"] / dual["map_s"], 2)
+            print(
+                f"{num_items:>7} {'dense':>6} {dense['build_s']:>10.4f}s "
+                f"{dense['sample_s']:>10.4f}s {dense['map_s']:>10.4f}s"
+            )
+            print(
+                f"{num_items:>7} {'dual':>6} {dual['build_s']:>10.4f}s "
+                f"{dual['sample_s']:>10.4f}s {dual['map_s']:>10.4f}s "
+                f"{build_sample:>20.1f}x"
+            )
+        else:
+            entry["dense"] = None
+            print(
+                f"{num_items:>7} {'dual':>6} {dual['build_s']:>10.4f}s "
+                f"{dual['sample_s']:>10.4f}s {dual['map_s']:>10.4f}s "
+                f"{'(dense skipped)':>21}"
+            )
+        results["sizes"][str(num_items)] = entry
+    if args.output:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"baseline written to {args.output}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -21,8 +21,8 @@ from repro.data import beauty_like, mine_diversity_pairs
 from repro.dpp import (
     DiversityKernelConfig,
     DiversityKernelLearner,
+    LowRankKernel,
     greedy_map,
-    quality_diversity_kernel_np,
 )
 from repro.losses import BPRCriterion, make_lkp_variant
 from repro.models import MFRecommender
@@ -52,7 +52,10 @@ def main() -> None:
         dataset.num_items, DiversityKernelConfig(rank=16, epochs=15, lr=0.03)
     )
     learner.fit(pairs)
-    kernel = learner.kernel()
+    # Serving-scale idiom: keep the diversity kernel in factored form
+    # (K = V Vᵀ) — training, MAP and analysis below only ever gather
+    # r-dimensional factor rows, never an M×M matrix.
+    factors = learner.factors_normalized()
 
     # Train the BPR model (for 1 and 2) and the LkP model (for 3).
     bpr_model = MFRecommender(dataset.num_users, dataset.num_items, dim=16, rng=0)
@@ -64,7 +67,7 @@ def main() -> None:
     lkp_model = MFRecommender(dataset.num_users, dataset.num_items, dim=16, rng=0)
     Trainer(
         lkp_model,
-        make_lkp_variant("NPS", diversity_kernel=kernel, k=5, n=5),
+        make_lkp_variant("NPS", diversity_factors=factors, k=5, n=5),
         split,
         TrainConfig(epochs=80, lr=0.05, batch_size=32, patience=10, seed=2),
     ).fit()
@@ -83,12 +86,11 @@ def main() -> None:
     # 2. Greedy MAP re-ranking of the BPR model's kernel.  The quality
     # temperature plays the role of Chen et al.'s relevance-diversity
     # trade-off parameter: raw exp(score) would make quality so dominant
-    # that MAP degenerates to plain top-k.
+    # that MAP degenerates to plain top-k.  The Eq. 2 kernel stays in
+    # factored form (Diag(q) V), so this scales to any catalog size.
     temperature = 4.0
     quality = np.exp(np.clip(bpr_scores[candidates], -12, 12) / temperature)
-    local = quality_diversity_kernel_np(
-        quality, kernel[np.ix_(candidates, candidates)]
-    ) + 1e-8 * np.eye(candidates.shape[0])
+    local = LowRankKernel.from_quality_diversity(quality, factors[candidates])
     map_local = greedy_map(local, 5)
     map_items = [int(candidates[i]) for i in map_local]
     print("2. BPR + greedy DPP MAP re-ranking:")

@@ -7,9 +7,12 @@ Implements everything the LkP criterion stands on:
   Newton-identities form used during training;
 * :mod:`~repro.dpp.kdpp` — exact k-DPP and standard-DPP distributions
   (probabilities, enumeration, Kulesza–Taskar sampling) plus the
-  differentiable ``log P_k(S)`` of Eq. 4;
+  differentiable ``log P_k(S)`` of Eq. 4; both distributions offer a
+  dense O(M³) path and a low-rank dual-kernel O(M r²) path
+  (``from_factors``) for catalog-scale serving;
 * :mod:`~repro.dpp.kernels` — the quality × diversity kernel assembly of
-  Eq. 2 / Eq. 13 and the Gaussian-similarity E-variant kernel;
+  Eq. 2 / Eq. 13, the :class:`~repro.dpp.kernels.LowRankKernel` factored
+  representation, and the Gaussian-similarity E-variant kernel;
 * :mod:`~repro.dpp.diversity_kernel` — the Eq. 3 learner for the
   pre-trained low-rank diversity kernel ``K = V^T V``;
 * :mod:`~repro.dpp.map_inference` — fast greedy MAP (Chen et al. 2018)
@@ -33,6 +36,7 @@ from .esp import (
     esp_from_power_sums,
     esp_leave_one_out,
     esp_table,
+    log_esp,
 )
 from .kdpp import (
     KDPP,
@@ -43,6 +47,7 @@ from .kdpp import (
 )
 from .kernels import (
     QUALITY_TRANSFORMS,
+    LowRankKernel,
     batched_gaussian_similarity_kernel,
     batched_quality_diversity_kernel,
     exp_quality,
@@ -62,6 +67,7 @@ __all__ = [
     "batched_log_kdpp_probability",
     "validate_psd_kernel",
     "elementary_symmetric_polynomials",
+    "log_esp",
     "esp_table",
     "esp_bruteforce",
     "esp_from_power_sums",
@@ -72,6 +78,7 @@ __all__ = [
     "batched_esp_table",
     "batched_esp_leave_one_out",
     "batched_differentiable_log_esp",
+    "LowRankKernel",
     "quality_diversity_kernel",
     "quality_diversity_kernel_np",
     "batched_quality_diversity_kernel",

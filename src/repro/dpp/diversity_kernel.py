@@ -199,6 +199,25 @@ class DiversityKernelLearner:
             np.fill_diagonal(kernel, diagonal_values)
         return kernel
 
+    def factors_normalized(self, normalize: str = "correlation") -> np.ndarray:
+        """The ``num_items x rank`` factors whose Gram is :meth:`kernel`.
+
+        Correlation-normalizing ``K = V Vᵀ`` to unit diagonal is exactly
+        row-normalizing ``V`` (``K_ij / sqrt(K_ii K_jj) = v̂_i · v̂_j``), so
+        the serving-side dual-kernel machinery (:class:`LowRankKernel`,
+        ``KDPP.from_factors``, the factor path of ``greedy_map``) and the
+        LkP criterion can gather r-dimensional factor rows instead of
+        slicing — or ever materializing — the M×M kernel.  ``shrink`` has
+        no factored form (blending with the identity raises the rank), so
+        shrunk kernels must go through :meth:`kernel`.
+        """
+        if normalize not in ("correlation", "none"):
+            raise ValueError(f"normalize must be 'correlation' or 'none', got {normalize!r}")
+        v = self.factors.data
+        if self.config.unit_norm or normalize == "correlation":
+            v = v / np.clip(np.linalg.norm(v, axis=1, keepdims=True), 1e-12, None)
+        return np.array(v, dtype=np.float64, copy=True)
+
     def submatrix(self, items: np.ndarray, normalize: str = "correlation") -> np.ndarray:
         """``K`` restricted to ``items`` without materializing all of K."""
         v = self.factors.data[np.asarray(items, dtype=np.int64)]
@@ -227,15 +246,23 @@ def category_jaccard_kernel(
     *learning* K versus just encoding category similarity directly.
     """
     m = len(item_categories)
-    kernel = np.zeros((m, m), dtype=np.float64)
-    for i in range(m):
-        kernel[i, i] = floor + scale
-        for j in range(i + 1, m):
-            a, b = item_categories[i], item_categories[j]
-            union = len(a | b)
-            jaccard = len(a & b) / union if union else 0.0
-            value = floor + scale * jaccard
-            kernel[i, j] = kernel[j, i] = value
+    categories = sorted({c for cats in item_categories for c in cats})
+    column_of = {c: j for j, c in enumerate(categories)}
+    # Binary membership matrix Z: one matmul gives every pairwise
+    # intersection size, replacing the O(M²) Python set loop.  Counts are
+    # small integers, exact in float64, so this matches the loop bitwise.
+    membership = np.zeros((m, max(len(categories), 1)), dtype=np.float64)
+    for i, cats in enumerate(item_categories):
+        for c in cats:
+            membership[i, column_of[c]] = 1.0
+    sizes = membership.sum(axis=1)
+    intersection = membership @ membership.T
+    union = sizes[:, None] + sizes[None, :] - intersection
+    jaccard = np.divide(
+        intersection, union, out=np.zeros((m, m), dtype=np.float64), where=union > 0
+    )
+    kernel = floor + scale * jaccard
+    np.fill_diagonal(kernel, floor + scale)
     # Similarity matrices built this way may be indefinite; project onto
     # the PSD cone by clipping negative eigenvalues.
     eigenvalues, eigenvectors = np.linalg.eigh(kernel)

@@ -42,6 +42,7 @@ from ..autodiff import Tensor, functional as F
 
 __all__ = [
     "elementary_symmetric_polynomials",
+    "log_esp",
     "esp_table",
     "esp_bruteforce",
     "esp_from_power_sums",
@@ -80,6 +81,33 @@ def esp_table(eigenvalues: np.ndarray, k: int) -> np.ndarray:
 def elementary_symmetric_polynomials(eigenvalues: np.ndarray, k: int) -> float:
     """``e_k`` of the eigenvalues — the paper's Algorithm 1 output."""
     return float(esp_table(eigenvalues, k)[k, -1])
+
+
+def log_esp(eigenvalues: np.ndarray, k: int) -> float:
+    """``log e_k`` of a PSD spectrum, stable across extreme dynamic ranges.
+
+    The dominant term of ``e_k`` is the product of the top-k eigenvalues,
+    so the spectrum is rescaled by their geometric mean before running
+    Algorithm 1 (``e_k(λ / c) = e_k(λ) / c^k``) — the same stabilization
+    the differentiable normalizer uses.  This is the log-space normalizer
+    behind :meth:`KDPP.log_subset_probability`: determinants and ``e_k``
+    values far outside float64 range stay finite here.  Returns ``-inf``
+    when ``e_k = 0`` (fewer than k nonzero eigenvalues).
+    """
+    eigenvalues = np.clip(np.asarray(eigenvalues, dtype=np.float64), 0.0, None)
+    m = eigenvalues.shape[0]
+    if not 0 <= k <= m:
+        raise ValueError(f"k must be in [0, {m}], got {k}")
+    if k == 0:
+        return 0.0
+    top_k = np.sort(eigenvalues)[-k:]
+    if top_k[0] <= 0.0:
+        return -np.inf
+    scale = float(np.exp(np.mean(np.log(top_k))))
+    e_k = elementary_symmetric_polynomials(eigenvalues / scale, k)
+    if e_k <= 0.0:  # pragma: no cover - only reachable through round-off
+        return -np.inf
+    return float(np.log(e_k) + k * np.log(scale))
 
 
 def esp_bruteforce(eigenvalues: np.ndarray, k: int) -> float:

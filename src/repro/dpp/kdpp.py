@@ -11,6 +11,20 @@ its ranking interpretation.
 training path lives in :func:`log_kdpp_probability` /
 :mod:`repro.losses.lkp` and shares the same math through
 :mod:`repro.dpp.esp`.
+
+Both distributions support two constructions:
+
+* the **dense** path (``__init__``) eigendecomposes the full ``M × M``
+  kernel — exact for anything, O(M³);
+* the **dual** path (``from_factors``) takes the ``(M, r)`` factor matrix
+  ``B`` of a low-rank kernel ``L = B Bᵀ`` and works entirely off the
+  ``r × r`` dual kernel ``C = Bᵀ B`` (Gartrell, Paquet & Koenigstein):
+  ``C`` shares the nonzero spectrum of ``L``, so normalizers, subset
+  probabilities and exact sampling cost O(M r²) — the serving-scale fast
+  path for the paper's rank-32 kernels.
+
+The two paths are parity-pinned by ``tests/test_lowrank_dual.py``: same
+float64 probabilities and, under a shared seeded RNG, the same samples.
 """
 
 from __future__ import annotations
@@ -25,9 +39,10 @@ from ..autodiff import Tensor, functional as F
 from .esp import (
     batched_differentiable_log_esp,
     differentiable_log_esp,
-    elementary_symmetric_polynomials,
     esp_table,
+    log_esp,
 )
+from .kernels import LowRankKernel
 
 __all__ = [
     "KDPP",
@@ -64,8 +79,58 @@ def validate_psd_kernel(
     return kernel
 
 
+def _as_lowrank(factors: np.ndarray | LowRankKernel) -> LowRankKernel:
+    if isinstance(factors, LowRankKernel):
+        return factors
+    return LowRankKernel(factors)
+
+
+def _subset_log_determinant(
+    kernel: np.ndarray | None,
+    lowrank: LowRankKernel | None,
+    subset: list[int],
+) -> float:
+    """``log det(L_S)`` via ``slogdet``; ``-inf`` for singular subsets.
+
+    Shared by both distributions.  Log-space is the whole point: a
+    well-conditioned submatrix whose determinant is below ~1e-308
+    (routine when Eq. 13's exponential qualities are small) keeps an
+    exact finite log-determinant here where ``np.linalg.det`` collapses
+    to 0.  On the low-rank path the submatrix is a Gram of factor rows,
+    and any subset larger than the rank is exactly singular.
+    """
+    if len(subset) == 0:
+        return 0.0
+    if lowrank is not None:
+        if len(subset) > lowrank.rank:
+            return -np.inf  # rank(L_S) <= r < |S|, det exactly 0
+        sub = lowrank.gram_rows(np.asarray(subset, dtype=np.int64))
+    else:
+        sub = kernel[np.ix_(subset, subset)]
+    sign, logdet = np.linalg.slogdet(sub)
+    if sign <= 0.0:
+        return -np.inf
+    return float(logdet)
+
+
+def _exp_or_inf(log_value: float) -> float:
+    """``exp`` that saturates to ``inf``/``0`` instead of raising.
+
+    The linear-domain accessors (``normalizer``, ``subset_determinant``)
+    are conveniences around log-space state; for spectra whose ``e_k`` or
+    determinant exceeds float64 range they should degrade the way the
+    pre-log-space code did (to ``inf``), not crash.
+    """
+    if log_value == -np.inf:
+        return 0.0
+    try:
+        return math.exp(log_value)
+    except OverflowError:
+        return math.inf
+
+
 class KDPP:
-    """Exact k-DPP over a (small) ground set described by an L-ensemble.
+    """Exact k-DPP over a ground set described by an L-ensemble.
 
     Parameters
     ----------
@@ -75,6 +140,9 @@ class KDPP:
         Cardinality of the distribution's subsets.
     validate:
         When True (default) the kernel is checked for symmetry / PSD-ness.
+
+    For low-rank kernels use :meth:`from_factors`, which never touches an
+    ``M × M`` matrix (``self.kernel`` is then ``None``).
     """
 
     def __init__(self, kernel: np.ndarray, k: int, validate: bool = True) -> None:
@@ -88,6 +156,7 @@ class KDPP:
             validate_psd_kernel(kernel, eigenvalues=eigenvalues) if validate else kernel
         )
         self.ground_size = self.kernel.shape[0]
+        self._lowrank: LowRankKernel | None = None
         if not 1 <= k <= self.ground_size:
             raise ValueError(
                 f"k must be in [1, {self.ground_size}], got {k}"
@@ -96,35 +165,88 @@ class KDPP:
         self._eigenvectors = eigenvectors
         # Clip tiny negative eigenvalues produced by floating point.
         self._eigenvalues = np.clip(eigenvalues, 0.0, None)
-        self._normalizer = elementary_symmetric_polynomials(self._eigenvalues, k)
+        self._log_normalizer = log_esp(self._eigenvalues, k)
+        if not np.isfinite(self._log_normalizer):
+            raise ValueError(
+                f"kernel rank is below k={k} (e_k of the spectrum is 0); "
+                "a k-DPP needs at least k nonzero eigenvalues — add jitter "
+                "or lower k"
+            )
+
+    @classmethod
+    def from_factors(
+        cls, factors: np.ndarray | LowRankKernel, k: int
+    ) -> "KDPP":
+        """Dual-kernel construction from the ``(M, r)`` factors of ``L = B Bᵀ``.
+
+        Everything spectral runs on the ``r × r`` dual ``C = Bᵀ B``: the
+        ``e_k`` normalizer needs only the r dual eigenvalues (the other
+        ``M - r`` eigenvalues of L are exactly zero and contribute nothing
+        to any ESP), and sampling lifts the chosen dual eigenvectors via
+        ``v_i = B ĉ_i / sqrt(λ_i)``.  Cost: O(M r² + r³) to build instead
+        of O(M³).
+        """
+        lowrank = _as_lowrank(factors)
+        self = cls.__new__(cls)
+        self.kernel = None
+        self._lowrank = lowrank
+        self.ground_size = lowrank.ground_size
+        if not 1 <= k <= self.ground_size:
+            raise ValueError(f"k must be in [1, {self.ground_size}], got {k}")
+        self.k = k
+        eigenvalues, _ = lowrank.eigh_dual()
+        self._eigenvalues = eigenvalues
+        self._eigenvectors = None
+        self._log_normalizer = (
+            log_esp(eigenvalues, k) if k <= eigenvalues.shape[0] else -np.inf
+        )
+        if not np.isfinite(self._log_normalizer):
+            raise ValueError(
+                f"factor rank is below k={k} (e_k of the dual spectrum is 0); "
+                "a k-DPP needs at least k nonzero eigenvalues"
+            )
+        return self
 
     # ------------------------------------------------------------------
     # Probabilities
     # ------------------------------------------------------------------
     @property
+    def is_lowrank(self) -> bool:
+        return self._lowrank is not None
+
+    @property
     def normalizer(self) -> float:
-        """``Z_k = e_k(eigenvalues)`` — Eq. 6."""
-        return self._normalizer
+        """``Z_k = e_k(eigenvalues)`` — Eq. 6 (``inf`` past float64 range)."""
+        return _exp_or_inf(self._log_normalizer)
+
+    @property
+    def log_normalizer(self) -> float:
+        """``log Z_k``, finite even when ``Z_k`` itself over/underflows."""
+        return self._log_normalizer
 
     @property
     def eigenvalues(self) -> np.ndarray:
+        """The stored spectrum: all M eigenvalues on the dense path, the r
+        dual eigenvalues on the low-rank path (the rest are exactly 0)."""
         return self._eigenvalues
 
-    def subset_determinant(self, subset: Sequence[int]) -> float:
+    def subset_log_determinant(self, subset: Sequence[int]) -> float:
+        """``log det(L_S)``; see :func:`_subset_log_determinant`."""
         subset = self._check_subset(subset, require_size_k=False)
-        sub = self.kernel[np.ix_(subset, subset)]
-        return float(np.linalg.det(sub))
+        return _subset_log_determinant(self.kernel, self._lowrank, subset)
+
+    def subset_determinant(self, subset: Sequence[int]) -> float:
+        return _exp_or_inf(self.subset_log_determinant(subset))
+
+    def log_subset_probability(self, subset: Sequence[int]) -> float:
+        """``log P(S) = log det(L_S) - log Z_k`` for a k-sized subset."""
+        subset = self._check_subset(subset, require_size_k=True)
+        return self.subset_log_determinant(subset) - self._log_normalizer
 
     def subset_probability(self, subset: Sequence[int]) -> float:
         """``P(S) = det(L_S) / Z_k`` for a k-sized subset (Eq. 4)."""
-        subset = self._check_subset(subset, require_size_k=True)
-        return max(self.subset_determinant(subset), 0.0) / self._normalizer
-
-    def log_subset_probability(self, subset: Sequence[int]) -> float:
-        probability = self.subset_probability(subset)
-        if probability <= 0.0:
-            return -np.inf
-        return math.log(probability)
+        log_probability = self.log_subset_probability(subset)
+        return math.exp(log_probability) if np.isfinite(log_probability) else 0.0
 
     def enumerate_probabilities(self) -> dict[frozenset[int], float]:
         """Probability of every k-subset.  Exponential — small sets only.
@@ -165,37 +287,18 @@ class KDPP:
         Phase 1 selects exactly ``k`` eigenvectors by walking the ESP
         table backwards (this is where the k-DPP differs from a standard
         DPP, which flips an independent coin per eigenvector); phase 2 is
-        the shared elementary-DPP projection sampler.
+        the shared elementary-DPP projection sampler.  On the low-rank
+        path phase 1 walks only the r dual eigenvalues — the zero modes
+        can never be selected — and the chosen eigenvectors are lifted
+        from the dual, so a seeded run consumes the same uniform stream
+        as the dense sampler and yields the same subset.
         """
-        vectors = self._select_k_eigenvectors(rng)
+        chosen = _select_k_eigenvector_indices(self._eigenvalues, self.k, rng)
+        if self._lowrank is not None:
+            vectors = self._lowrank.lift_eigenvectors(np.asarray(chosen))
+        else:
+            vectors = self._eigenvectors[:, chosen]
         return _sample_from_elementary(vectors, rng)
-
-    def _select_k_eigenvectors(self, rng: np.random.Generator) -> np.ndarray:
-        table = esp_table(self._eigenvalues, self.k)
-        remaining = self.k
-        chosen: list[int] = []
-        for index in range(self.ground_size, 0, -1):
-            if remaining == 0:
-                break
-            # Probability that eigenvector `index - 1` is in the selection
-            # given `remaining` picks are left among the first `index`.
-            denominator = table[remaining, index]
-            if denominator <= 0:
-                continue
-            include = (
-                self._eigenvalues[index - 1]
-                * table[remaining - 1, index - 1]
-                / denominator
-            )
-            if rng.random() < include:
-                chosen.append(index - 1)
-                remaining -= 1
-        if remaining != 0:  # pragma: no cover - only with degenerate kernels
-            raise RuntimeError(
-                "k-DPP eigenvector selection failed; kernel rank is likely "
-                f"below k={self.k}"
-            )
-        return self._eigenvectors[:, chosen]
 
 
 class StandardDPP:
@@ -204,7 +307,7 @@ class StandardDPP:
     Included both as the substrate the k-DPP conditions on and to
     reproduce the paper's ablation showing that standard-DPP probabilities
     (which let subsets of *different* sizes compete) make a poor ranking
-    criterion.
+    criterion.  :meth:`from_factors` is the O(M r²) dual-kernel path.
     """
 
     def __init__(self, kernel: np.ndarray, validate: bool = True) -> None:
@@ -216,63 +319,159 @@ class StandardDPP:
             validate_psd_kernel(kernel, eigenvalues=eigenvalues) if validate else kernel
         )
         self.ground_size = self.kernel.shape[0]
+        self._lowrank: LowRankKernel | None = None
         self._eigenvectors = eigenvectors
         self._eigenvalues = np.clip(eigenvalues, 0.0, None)
         self._log_normalizer = float(np.log1p(self._eigenvalues).sum())
+
+    @classmethod
+    def from_factors(cls, factors: np.ndarray | LowRankKernel) -> "StandardDPP":
+        """Dual-kernel construction from the factors of ``L = B Bᵀ``.
+
+        ``log det(L + I) = Σ log(1 + λ_i)`` needs only the r nonzero
+        eigenvalues — the zero modes contribute ``log 1 = 0`` exactly.
+        """
+        lowrank = _as_lowrank(factors)
+        self = cls.__new__(cls)
+        self.kernel = None
+        self._lowrank = lowrank
+        self.ground_size = lowrank.ground_size
+        eigenvalues, _ = lowrank.eigh_dual()
+        self._eigenvalues = eigenvalues
+        self._eigenvectors = None
+        self._log_normalizer = float(np.log1p(eigenvalues).sum())
+        return self
+
+    @property
+    def is_lowrank(self) -> bool:
+        return self._lowrank is not None
 
     @property
     def log_normalizer(self) -> float:
         """``log det(L + I)``, computed from eigenvalues for stability."""
         return self._log_normalizer
 
-    def subset_probability(self, subset: Iterable[int]) -> float:
+    def subset_log_determinant(self, subset: Sequence[int]) -> float:
+        """``log det(L_S)``; see :func:`_subset_log_determinant`."""
         subset = [int(i) for i in subset]
-        if len(subset) == 0:
-            return math.exp(-self._log_normalizer)
-        sub = self.kernel[np.ix_(subset, subset)]
-        det = max(float(np.linalg.det(sub)), 0.0)
-        return det * math.exp(-self._log_normalizer)
+        return _subset_log_determinant(self.kernel, self._lowrank, subset)
+
+    def log_subset_probability(self, subset: Iterable[int]) -> float:
+        return self.subset_log_determinant(list(subset)) - self._log_normalizer
+
+    def subset_probability(self, subset: Iterable[int]) -> float:
+        log_probability = self.log_subset_probability(subset)
+        return math.exp(log_probability) if np.isfinite(log_probability) else 0.0
 
     def sample(self, rng: np.random.Generator) -> list[int]:
-        """Exact DPP sample: independent eigenvector coins + projection."""
-        keep = rng.random(self.ground_size) < self._eigenvalues / (
-            1.0 + self._eigenvalues
-        )
-        vectors = self._eigenvectors[:, keep]
-        if vectors.shape[1] == 0:
-            return []
+        """Exact DPP sample: independent eigenvector coins + projection.
+
+        The dual path draws a full ground-set's worth of coins even though
+        only the last r (matching the nonzero, ascending-sorted spectrum)
+        can come up heads: the M - r zero eigenvalues keep their
+        eigenvectors with probability 0/(1+0) = 0 on the dense path too,
+        so a seeded dual run consumes the identical uniform stream and
+        returns the same sample as its dense twin.
+        """
+        coins = rng.random(self.ground_size)
+        if self._lowrank is not None:
+            # Align the top of the ascending dual spectrum with the top of
+            # the dense one.  With more factor columns than items (r > M)
+            # the lowest r - M dual eigenvalues are exactly zero — rank(L)
+            # <= M — and need no coin at all.
+            rank = self._eigenvalues.shape[0]
+            count = min(rank, self.ground_size)
+            top = self._eigenvalues[rank - count :]
+            keep = coins[self.ground_size - count :] < top / (1.0 + top)
+            if not np.any(keep):
+                return []
+            vectors = self._lowrank.lift_eigenvectors(
+                np.flatnonzero(keep) + (rank - count)
+            )
+        else:
+            keep = coins < self._eigenvalues / (1.0 + self._eigenvalues)
+            vectors = self._eigenvectors[:, keep]
+            if vectors.shape[1] == 0:
+                return []
         return _sample_from_elementary(vectors, rng)
+
+
+def _select_k_eigenvector_indices(
+    eigenvalues: np.ndarray, k: int, rng: np.random.Generator
+) -> list[int]:
+    """Phase 1 of k-DPP sampling: pick exactly k eigenvector indices.
+
+    Walks the ESP table backwards (Kulesza & Taskar Alg. 8).  The spectrum
+    is pre-scaled by the geometric mean of its top-k entries — every
+    inclusion probability is a ratio of ESPs, hence scale-invariant, but
+    the table entries themselves stay inside float64 range even for the
+    huge/tiny spectra Eq. 13's exponential qualities produce.
+    """
+    eigenvalues = np.asarray(eigenvalues, dtype=np.float64)
+    m = eigenvalues.shape[0]
+    top_k = np.sort(eigenvalues)[-k:]
+    scale = float(np.exp(np.mean(np.log(top_k)))) if top_k[0] > 0 else 1.0
+    scaled = eigenvalues / scale
+    table = esp_table(scaled, k)
+    remaining = k
+    chosen: list[int] = []
+    for index in range(m, 0, -1):
+        if remaining == 0:
+            break
+        # Probability that eigenvector `index - 1` is in the selection
+        # given `remaining` picks are left among the first `index`.
+        denominator = table[remaining, index]
+        if denominator <= 0:
+            continue
+        include = scaled[index - 1] * table[remaining - 1, index - 1] / denominator
+        if rng.random() < include:
+            chosen.append(index - 1)
+            remaining -= 1
+    if remaining != 0:  # pragma: no cover - only with degenerate kernels
+        raise RuntimeError(
+            "k-DPP eigenvector selection failed; kernel rank is likely "
+            f"below k={k}"
+        )
+    return chosen
 
 
 def _sample_from_elementary(vectors: np.ndarray, rng: np.random.Generator) -> list[int]:
     """Sample from the elementary (projection) DPP spanned by ``vectors``.
 
     Standard iterative procedure: pick an item with probability
-    proportional to the squared row norms of the current basis, then
-    project the basis onto the complement of the coordinate direction just
-    used.  Returns exactly ``vectors.shape[1]`` distinct items.
+    proportional to the squared row norms of the current (orthonormal)
+    basis, then restrict the basis to the subspace with zero component
+    along the chosen coordinate.  The restriction is a single Householder
+    reflection applied from the right — rotate the chosen row onto the
+    last coordinate and drop that column — which keeps the basis exactly
+    orthonormal in O(M p) per step, replacing the former per-step O(M p²)
+    QR re-orthonormalization.  Returns exactly ``vectors.shape[1]``
+    distinct items.
     """
-    basis = vectors.copy()
+    basis = np.array(vectors, dtype=np.float64, copy=True)
     sample: list[int] = []
-    while basis.shape[1] > 0:
+    for remaining in range(basis.shape[1], 0, -1):
         row_norms = (basis**2).sum(axis=1)
         total = row_norms.sum()
         if total <= 0:  # pragma: no cover - degenerate basis
             raise RuntimeError("elementary DPP sampler ran out of mass")
-        probabilities = row_norms / total
-        item = int(rng.choice(len(probabilities), p=probabilities))
+        item = int(rng.choice(row_norms.shape[0], p=row_norms / total))
         sample.append(item)
-        # Project the basis orthogonally to e_item.
-        row = basis[item, :]
-        pivot = int(np.argmax(np.abs(row)))
-        pivot_column = basis[:, pivot].copy()
-        pivot_value = row[pivot]
-        basis = basis - np.outer(pivot_column, row / pivot_value)
-        basis = np.delete(basis, pivot, axis=1)
-        # Re-orthonormalize to keep row norms meaningful.
-        if basis.shape[1] > 0:
-            q, _ = np.linalg.qr(basis)
-            basis = q
+        if remaining == 1:
+            break
+        row = basis[item].copy()
+        norm = float(np.linalg.norm(row))
+        if norm <= 0:  # pragma: no cover - contradicts a positive pick prob
+            raise RuntimeError("chosen item has zero basis row")
+        # Householder vector sending the row to ∓||row|| e_last; the sign
+        # choice avoids cancellation.  Right-multiplying by the reflection
+        # zeroes the item's coordinate in every column but the last, so
+        # dropping the last column is exactly the conditioning step.
+        reflector = row
+        reflector[-1] += math.copysign(norm, row[-1])
+        reflector /= np.linalg.norm(reflector)
+        basis -= 2.0 * np.outer(basis @ reflector, reflector)
+        basis = basis[:, :-1]
     return sample
 
 

@@ -19,6 +19,7 @@ import numpy as np
 from ..autodiff import Tensor, as_tensor
 
 __all__ = [
+    "LowRankKernel",
     "quality_diversity_kernel",
     "quality_diversity_kernel_np",
     "batched_quality_diversity_kernel",
@@ -35,6 +36,103 @@ __all__ = [
 #: kernel entries (products of two exponentials) within float64 range and
 #: reproduces the stabilization the paper reports needing.
 SCORE_CLIP = 12.0
+
+
+class LowRankKernel:
+    """A PSD kernel ``L = B Bᵀ`` held in factored form — never the M×M Gram.
+
+    ``B`` is the ``(M, r)`` factor matrix.  The paper's kernels are low
+    rank by construction: the diversity kernel is ``K = V Vᵀ`` with
+    ``r = 32`` (Eq. 3) and the Eq. 2 personalization only rescales rows
+    and columns, so ``L = Diag(q) V (Diag(q) V)ᵀ`` keeps rank ≤ r.  All
+    catalog-scale inference (spectra, normalizers, sampling, MAP) then
+    runs off the ``r × r`` dual kernel ``C = Bᵀ B`` — the Gartrell,
+    Paquet & Koenigstein low-rank DPP trick — at O(M r²) instead of
+    O(M³).
+
+    The dual eigendecomposition is computed once, lazily, and cached;
+    instances are treated as immutable.
+    """
+
+    def __init__(self, factors: np.ndarray) -> None:
+        factors = np.asarray(factors, dtype=np.float64)
+        if factors.ndim != 2:
+            raise ValueError(f"factors must be (M, r), got shape {factors.shape}")
+        if not np.all(np.isfinite(factors)):
+            raise ValueError("factors contain non-finite entries")
+        self.factors = factors
+        self._dual_spectrum: tuple[np.ndarray, np.ndarray] | None = None
+
+    @classmethod
+    def from_quality_diversity(
+        cls, quality: np.ndarray, diversity_factors: np.ndarray
+    ) -> "LowRankKernel":
+        """Eq. 2 in factored form: ``Diag(q) V`` so ``L = Diag(q) V Vᵀ Diag(q)``."""
+        quality = np.asarray(quality, dtype=np.float64)
+        diversity_factors = np.asarray(diversity_factors, dtype=np.float64)
+        if quality.ndim != 1:
+            raise ValueError(f"quality must be a vector, got shape {quality.shape}")
+        if diversity_factors.ndim != 2 or diversity_factors.shape[0] != quality.shape[0]:
+            raise ValueError(
+                f"diversity factors shape {diversity_factors.shape} does not "
+                f"match quality length {quality.shape[0]}"
+            )
+        return cls(quality[:, None] * diversity_factors)
+
+    # ------------------------------------------------------------------
+    @property
+    def ground_size(self) -> int:
+        return self.factors.shape[0]
+
+    @property
+    def rank(self) -> int:
+        """Upper bound on the kernel rank (the factor width r)."""
+        return self.factors.shape[1]
+
+    def diagonal(self) -> np.ndarray:
+        """``diag(L)`` — the squared factor row norms."""
+        return (self.factors**2).sum(axis=1)
+
+    def gram_rows(self, items: np.ndarray) -> np.ndarray:
+        """The submatrix ``L[items, items]`` as a Gram of factor rows."""
+        rows = self.factors[np.asarray(items, dtype=np.int64)]
+        return rows @ rows.T
+
+    def dense(self) -> np.ndarray:
+        """Materialize the full ``M × M`` kernel (tests / small fallbacks only)."""
+        return self.factors @ self.factors.T
+
+    def dual(self) -> np.ndarray:
+        """The ``r × r`` dual kernel ``C = Bᵀ B``."""
+        return self.factors.T @ self.factors
+
+    def eigh_dual(self) -> tuple[np.ndarray, np.ndarray]:
+        """Eigendecomposition of the dual kernel, cached.
+
+        Returns ``(eigenvalues, dual_vectors)`` with eigenvalues ascending
+        and clipped at zero.  ``C = Bᵀ B`` and ``L = B Bᵀ`` share their
+        nonzero spectrum, so these r eigenvalues *are* the kernel's
+        spectrum — the remaining ``M - r`` eigenvalues are exactly zero.
+        """
+        if self._dual_spectrum is None:
+            eigenvalues, dual_vectors = np.linalg.eigh(self.dual())
+            self._dual_spectrum = (np.clip(eigenvalues, 0.0, None), dual_vectors)
+        return self._dual_spectrum
+
+    def lift_eigenvectors(self, indices: np.ndarray | None = None) -> np.ndarray:
+        """Primal eigenvectors ``v_i = B ĉ_i / sqrt(λ_i)`` for nonzero λ_i.
+
+        ``indices`` selects dual eigenpairs (default: all with λ > 0); the
+        lifted columns are orthonormal eigenvectors of ``L = B Bᵀ``.
+        """
+        eigenvalues, dual_vectors = self.eigh_dual()
+        if indices is None:
+            indices = np.flatnonzero(eigenvalues > 0.0)
+        indices = np.asarray(indices, dtype=np.int64)
+        selected = eigenvalues[indices]
+        if np.any(selected <= 0.0):
+            raise ValueError("cannot lift eigenvectors of zero eigenvalues")
+        return (self.factors @ dual_vectors[:, indices]) / np.sqrt(selected)
 
 
 def quality_diversity_kernel(quality: Tensor, diversity: Tensor | np.ndarray) -> Tensor:

@@ -6,17 +6,25 @@ O(M k^2) incremental-Cholesky version of that greedy algorithm.  In this
 reproduction it powers the example applications (generating a diversified
 top-k list from a trained model's kernel) and serves as a baseline
 post-processing re-ranker to contrast with LkP's in-training approach.
+
+``greedy_map`` also accepts a :class:`~repro.dpp.kernels.LowRankKernel`:
+the algorithm only ever touches the kernel's diagonal and one row per
+round, and both are inner products of factor rows, so catalog-wide
+diversified top-k runs in O(M k (r + k)) without materializing — or even
+being handed — the M×M Gram matrix.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .kernels import LowRankKernel
+
 __all__ = ["greedy_map", "greedy_map_reference"]
 
 
 def greedy_map(
-    kernel: np.ndarray,
+    kernel: np.ndarray | LowRankKernel,
     k: int,
     candidates: np.ndarray | None = None,
     epsilon: float = 1e-10,
@@ -31,7 +39,9 @@ def greedy_map(
     Parameters
     ----------
     kernel:
-        PSD L-ensemble kernel over the full candidate ground set.
+        PSD L-ensemble kernel over the full candidate ground set — either
+        a dense matrix or a :class:`LowRankKernel`, whose factor inner
+        products supply the diagonal and the per-round row on demand.
     k:
         Number of items to select (the paper's fixed result-list size).
     candidates:
@@ -40,8 +50,13 @@ def greedy_map(
         Stop early if the best remaining marginal gain falls below this,
         which mirrors the reference implementation's stopping rule.
     """
-    kernel = np.asarray(kernel, dtype=np.float64)
-    m = kernel.shape[0]
+    factors: np.ndarray | None = None
+    if isinstance(kernel, LowRankKernel):
+        factors = kernel.factors
+        m = kernel.ground_size
+    else:
+        kernel = np.asarray(kernel, dtype=np.float64)
+        m = kernel.shape[0]
     if candidates is None:
         candidates = np.arange(m)
     else:
@@ -52,9 +67,14 @@ def greedy_map(
         )
 
     num_candidates = candidates.shape[0]
+    if factors is not None:
+        candidate_factors = factors[candidates]
+        di2 = (candidate_factors**2).sum(axis=1)
+    else:
+        candidate_factors = None
+        di2 = kernel[candidates, candidates].copy()
     # cis[j, i]: j-th Cholesky coefficient of candidate i (row-incremental).
     cis = np.zeros((k, num_candidates), dtype=np.float64)
-    di2 = kernel[candidates, candidates].copy()
 
     selected_local = int(np.argmax(di2))
     selected = [selected_local]
@@ -62,7 +82,10 @@ def greedy_map(
         last = selected_local
         ci_last = cis[:round_index, last]
         di_last = np.sqrt(max(di2[last], epsilon))
-        row = kernel[candidates[last], candidates]
+        if candidate_factors is not None:
+            row = candidate_factors @ candidate_factors[last]
+        else:
+            row = kernel[candidates[last], candidates]
         eis = (row - ci_last @ cis[:round_index, :]) / di_last
         cis[round_index, :] = eis
         di2 = di2 - eis**2

@@ -41,6 +41,53 @@ class EvalResult:
         return " ".join(parts)
 
 
+def _masked_top_k(
+    scores: np.ndarray,
+    split: DatasetSplit,
+    max_cutoff: int,
+    target: str,
+) -> list[np.ndarray]:
+    """Per-user top-``max_cutoff`` item lists with exclusions applied.
+
+    The hot path of :func:`evaluate_scores` (the trainer re-runs it every
+    ``eval_every`` epochs): instead of materializing each user's exclusion
+    set as a Python ``set`` and ranking per user, all exclusions are
+    scattered into the score matrix at once (the split already stores them
+    as per-user index arrays) and one ``argpartition`` pass over axis 1
+    ranks every user.  Excluded entries surface as ``-inf`` and are
+    trimmed per row, matching :func:`repro.utils.topk.top_k_indices` item
+    for item — including the arbitrary-but-deterministic resolution of
+    score ties at the cutoff boundary: rows with at least ``max_cutoff``
+    rankable items partition at the same pivot ``top_k_indices`` uses
+    (identical introselect on identical data), and the rare rows with
+    fewer fall back to ``top_k_indices`` itself.
+    """
+    num_users, num_items = scores.shape
+    masked = np.array(scores, dtype=np.float64, copy=True)
+    sources = (split.train, split.val) if target == "test" else (split.train,)
+    for per_user_items in sources:
+        lengths = [items.shape[0] for items in per_user_items]
+        if sum(lengths) == 0:
+            continue
+        rows = np.repeat(np.arange(num_users), lengths)
+        cols = np.concatenate(per_user_items)
+        masked[rows, cols.astype(np.int64)] = -np.inf
+    cutoff = min(max_cutoff, num_items)
+    heads = np.argpartition(-masked, cutoff - 1, axis=1)[:, :cutoff]
+    head_scores = np.take_along_axis(masked, heads, axis=1)
+    order = np.argsort(-head_scores, axis=1, kind="stable")
+    heads = np.take_along_axis(heads, order, axis=1)
+    head_scores = np.take_along_axis(head_scores, order, axis=1)
+    finite = np.isfinite(head_scores)
+    finite_counts = np.isfinite(masked).sum(axis=1)
+    return [
+        heads[user, finite[user]]
+        if finite_counts[user] >= cutoff
+        else top_k_indices(masked[user], max_cutoff)
+        for user in range(num_users)
+    ]
+
+
 def evaluate_scores(
     scores: np.ndarray,
     split: DatasetSplit,
@@ -68,6 +115,7 @@ def evaluate_scores(
         )
     held_out = split.test if target == "test" else split.val
     max_cutoff = max(cutoffs)
+    top_lists = _masked_top_k(scores, split, max_cutoff, target)
 
     sums = {f"{family}@{n}": 0.0 for family in METRIC_FAMILIES for n in cutoffs}
     evaluated = 0
@@ -75,11 +123,7 @@ def evaluate_scores(
         relevant = set(map(int, held_out[user]))
         if not relevant:
             continue
-        if target == "test":
-            exclude = np.fromiter(split.known_set(user), dtype=np.int64)
-        else:
-            exclude = np.fromiter(split.train_set(user), dtype=np.int64)
-        top = top_k_indices(scores[user], max_cutoff, exclude=exclude)
+        top = top_lists[user]
         evaluated += 1
         for n in cutoffs:
             head = top[:n]

@@ -23,7 +23,7 @@ from ..autodiff import no_grad
 from ..data.interactions import DatasetSplit
 from ..data.samplers import GroundSetInstance
 from ..dpp.kdpp import KDPP
-from ..dpp.kernels import quality_diversity_kernel_np
+from ..dpp.kernels import LowRankKernel, quality_diversity_kernel_np
 from ..models.base import Recommender
 
 __all__ = [
@@ -37,12 +37,18 @@ __all__ = [
 
 def ground_set_kernel_np(
     model: Recommender,
-    diversity_kernel: np.ndarray,
+    diversity_kernel: np.ndarray | LowRankKernel,
     instance: GroundSetInstance,
     jitter: float = 1e-6,
     score_clip: float = 12.0,
 ) -> np.ndarray:
-    """Numpy twin of :meth:`LkPCriterion.instance_kernel` (no gradients)."""
+    """Numpy twin of :meth:`LkPCriterion.instance_kernel` (no gradients).
+
+    ``diversity_kernel`` may be the dense ``M × M`` matrix or a
+    :class:`LowRankKernel` over its factors, in which case the ground-set
+    block is a Gram of r-dimensional factor rows and no M×M slice (let
+    alone the full kernel) is ever formed.
+    """
     ground = instance.ground_set
     with no_grad():
         scores = model.score_items(instance.user, ground).data
@@ -53,7 +59,10 @@ def ground_set_kernel_np(
         quality = 1.0 / (1.0 + np.exp(-np.clip(scores, -50, 50))) + 1e-4
     else:
         quality = np.clip(scores, 1e-4, None)
-    sub = diversity_kernel[np.ix_(ground, ground)]
+    if isinstance(diversity_kernel, LowRankKernel):
+        sub = diversity_kernel.gram_rows(ground)
+    else:
+        sub = diversity_kernel[np.ix_(ground, ground)]
     return quality_diversity_kernel_np(quality, sub) + jitter * np.eye(ground.shape[0])
 
 
@@ -79,7 +88,7 @@ class TargetGroupReport:
 
 def target_count_probabilities(
     model: Recommender,
-    diversity_kernel: np.ndarray,
+    diversity_kernel: np.ndarray | LowRankKernel,
     instances: list[GroundSetInstance],
     jitter: float = 1e-6,
 ) -> TargetGroupReport:
@@ -128,7 +137,7 @@ class DiversityProbabilityReport:
 
 def diverse_vs_monotonous(
     model: Recommender,
-    diversity_kernel: np.ndarray,
+    diversity_kernel: np.ndarray | LowRankKernel,
     instances: list[GroundSetInstance],
     split: DatasetSplit,
     diverse_threshold: int | None = None,

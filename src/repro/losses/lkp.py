@@ -89,7 +89,14 @@ class LkPCriterion(Criterion):
         indexed per ground set; ``"embedding"`` — Gaussian kernel over the
         model's item vectors (the E formulation).
     diversity_kernel:
-        Dense ``M x M`` PSD matrix (required for ``"pretrained"``).
+        Dense ``M x M`` PSD matrix (``"pretrained"`` mode needs either
+        this or ``diversity_factors``).
+    diversity_factors:
+        ``M x r`` factor matrix ``V`` with ``K = V Vᵀ`` (e.g. from
+        :meth:`DiversityKernelLearner.factors_normalized`).  The per-set
+        diversity blocks are then Grams of r-dimensional factor rows, so
+        the dense M×M kernel is never materialized — the catalog-scale
+        form of ``"pretrained"`` mode.
     bandwidth:
         Gaussian kernel bandwidth for ``"embedding"`` mode.
     normalization:
@@ -112,6 +119,7 @@ class LkPCriterion(Criterion):
         use_negative_set: bool = False,
         kernel_mode: str = "pretrained",
         diversity_kernel: np.ndarray | None = None,
+        diversity_factors: np.ndarray | None = None,
         bandwidth: float = 1.0,
         normalization: str = "kdpp",
         jitter: float = 1e-6,
@@ -138,25 +146,38 @@ class LkPCriterion(Criterion):
                 f"negative subset has cardinality k; got k={k}, n={n}"
             )
         if kernel_mode == "pretrained":
-            if diversity_kernel is None:
+            if diversity_kernel is None and diversity_factors is None:
                 raise ValueError(
                     "kernel_mode='pretrained' needs the pre-learned diversity "
-                    "kernel (see repro.dpp.DiversityKernelLearner)"
+                    "kernel or its low-rank factors (see "
+                    "repro.dpp.DiversityKernelLearner)"
                 )
-            diversity_kernel = np.asarray(diversity_kernel, dtype=np.float64)
-            if (
-                diversity_kernel.ndim != 2
-                or diversity_kernel.shape[0] != diversity_kernel.shape[1]
-            ):
+            if diversity_kernel is not None and diversity_factors is not None:
                 raise ValueError(
-                    f"diversity kernel must be square, got {diversity_kernel.shape}"
+                    "pass either diversity_kernel or diversity_factors, not both"
                 )
+            if diversity_kernel is not None:
+                diversity_kernel = np.asarray(diversity_kernel, dtype=np.float64)
+                if (
+                    diversity_kernel.ndim != 2
+                    or diversity_kernel.shape[0] != diversity_kernel.shape[1]
+                ):
+                    raise ValueError(
+                        f"diversity kernel must be square, got {diversity_kernel.shape}"
+                    )
+            else:
+                diversity_factors = np.asarray(diversity_factors, dtype=np.float64)
+                if diversity_factors.ndim != 2:
+                    raise ValueError(
+                        f"diversity factors must be (M, r), got {diversity_factors.shape}"
+                    )
         self.k = k
         self.n = n
         self.sampling = sampling
         self.use_negative_set = use_negative_set
         self.kernel_mode = kernel_mode
         self.diversity_kernel = diversity_kernel
+        self.diversity_factors = diversity_factors
         self.bandwidth = bandwidth
         self.normalization = normalization
         self.jitter = jitter
@@ -170,14 +191,17 @@ class LkPCriterion(Criterion):
 
     # ------------------------------------------------------------------
     def make_sampler(self, split: DatasetSplit) -> GroundSetSampler:
-        if (
-            self.kernel_mode == "pretrained"
-            and self.diversity_kernel.shape[0] != split.dataset.num_items
-        ):
-            raise ValueError(
-                f"diversity kernel covers {self.diversity_kernel.shape[0]} items "
-                f"but the dataset has {split.dataset.num_items}"
+        if self.kernel_mode == "pretrained":
+            source = (
+                self.diversity_kernel
+                if self.diversity_kernel is not None
+                else self.diversity_factors
             )
+            if source.shape[0] != split.dataset.num_items:
+                raise ValueError(
+                    f"diversity kernel covers {source.shape[0]} items "
+                    f"but the dataset has {split.dataset.num_items}"
+                )
         return GroundSetSampler(split, k=self.k, n=self.n, mode=self.sampling)
 
     # ------------------------------------------------------------------
@@ -207,7 +231,11 @@ class LkPCriterion(Criterion):
             scores = model.scores_for_pairs(representations, users, ground)
         quality = self._quality(model, scores)
         if self.kernel_mode == "pretrained":
-            diversity = Tensor(self.diversity_kernel[np.ix_(ground, ground)])
+            if self.diversity_factors is not None:
+                rows = self.diversity_factors[ground]
+                diversity = Tensor(rows @ rows.T)
+            else:
+                diversity = Tensor(self.diversity_kernel[np.ix_(ground, ground)])
         else:
             vectors = model.item_vectors(representations, ground)
             diversity = gaussian_similarity_kernel(vectors, bandwidth=self.bandwidth)
@@ -314,9 +342,13 @@ class LkPCriterion(Criterion):
         scores = model.scores_for_pairs(representations, users, ground.reshape(-1))
         quality = self._quality(model, scores.reshape(len(batch), size))
         if self.kernel_mode == "pretrained":
-            diversity = Tensor(
-                self.diversity_kernel[ground[:, :, None], ground[:, None, :]]
-            )
+            if self.diversity_factors is not None:
+                rows = self.diversity_factors[ground]  # (B, k+n, r)
+                diversity = Tensor(rows @ np.swapaxes(rows, -1, -2))
+            else:
+                diversity = Tensor(
+                    self.diversity_kernel[ground[:, :, None], ground[:, None, :]]
+                )
         else:
             vectors = model.item_vectors(representations, ground.reshape(-1))
             stacked = vectors.reshape(len(batch), size, vectors.shape[-1])
@@ -361,11 +393,13 @@ def make_lkp_variant(
     bandwidth: float = 1.0,
     normalization: str = "kdpp",
     backend: str = "batched",
+    diversity_factors: np.ndarray | None = None,
 ) -> LkPCriterion:
     """Construct one of the paper's six LkP variants by code name.
 
-    ``PS``, ``PR``, ``NPS``, ``NPR`` require ``diversity_kernel``;
-    ``PSE`` and ``NPSE`` use the embedding Gaussian kernel instead.
+    ``PS``, ``PR``, ``NPS``, ``NPR`` require ``diversity_kernel`` (or its
+    low-rank ``diversity_factors``); ``PSE`` and ``NPSE`` use the
+    embedding Gaussian kernel instead.
     """
     code = code.upper()
     if code not in LKP_VARIANTS:
@@ -380,6 +414,7 @@ def make_lkp_variant(
         use_negative_set=use_negative,
         kernel_mode="embedding" if embedding_mode else "pretrained",
         diversity_kernel=None if embedding_mode else diversity_kernel,
+        diversity_factors=None if embedding_mode else diversity_factors,
         bandwidth=bandwidth,
         normalization=normalization,
         backend=backend,

@@ -137,3 +137,38 @@ def test_category_jaccard_kernel_properties():
     assert np.linalg.eigvalsh(kernel).min() > 0
     # Items sharing categories are more similar than disjoint ones.
     assert kernel[0, 1] > kernel[0, 2]
+
+
+def test_category_jaccard_kernel_matches_reference_loop():
+    # The vectorized membership-matrix construction must reproduce the
+    # original O(M^2) Python set loop exactly.
+    def reference(item_categories, scale, floor):
+        m = len(item_categories)
+        kernel = np.zeros((m, m), dtype=np.float64)
+        for i in range(m):
+            kernel[i, i] = floor + scale
+            for j in range(i + 1, m):
+                a, b = item_categories[i], item_categories[j]
+                union = len(a | b)
+                jaccard = len(a & b) / union if union else 0.0
+                value = floor + scale * jaccard
+                kernel[i, j] = kernel[j, i] = value
+        eigenvalues, eigenvectors = np.linalg.eigh(kernel)
+        eigenvalues = np.clip(eigenvalues, 1e-8, None)
+        return (eigenvectors * eigenvalues) @ eigenvectors.T
+
+    rng = np.random.default_rng(0)
+    categories = [
+        frozenset(rng.choice(12, size=rng.integers(0, 5), replace=False).tolist())
+        for _ in range(40)
+    ]
+    # include an all-empty pairing (union == 0 branch)
+    categories[3] = frozenset()
+    categories[11] = frozenset()
+    for scale, floor in ((1.0, 0.05), (0.8, 0.2)):
+        np.testing.assert_allclose(
+            category_jaccard_kernel(categories, scale=scale, floor=floor),
+            reference(categories, scale, floor),
+            rtol=1e-12,
+            atol=1e-12,
+        )

@@ -1,0 +1,443 @@
+"""Dual-kernel (low-rank) fast path: parity with the dense DPP stack.
+
+Every serving-side computation the dual path rewrites — spectra, ``e_k``
+normalizers, subset (log-)probabilities, exact k-DPP / standard-DPP
+sampling, greedy MAP — is pinned here against the dense O(M³) reference
+on random low-rank kernels, including rank-deficient and duplicate-row
+edge cases.  Samples are compared under a *shared seeded RNG*: both
+paths are built to consume the identical uniform stream, so a seeded
+dual draw must return exactly the dense draw.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import GroundSetInstance, GroundSetSampler, movielens_like
+from repro.dpp import (
+    KDPP,
+    DiversityKernelConfig,
+    DiversityKernelLearner,
+    LowRankKernel,
+    StandardDPP,
+    elementary_symmetric_polynomials,
+    greedy_map,
+    log_esp,
+)
+from repro.eval import ground_set_kernel_np, target_count_probabilities
+from repro.losses import LkPCriterion
+from repro.models import MFRecommender
+
+
+def _factors(seed: int, m: int, r: int, quality_spread: float = 0.5) -> np.ndarray:
+    """Eq. 2-shaped factors: unit-row diversity scaled by exp qualities."""
+    rng = np.random.default_rng(seed)
+    diversity = rng.normal(size=(m, r))
+    diversity /= np.linalg.norm(diversity, axis=1, keepdims=True)
+    quality = np.exp(rng.normal(scale=quality_spread, size=m))
+    return quality[:, None] * diversity
+
+
+# ----------------------------------------------------------------------
+# LowRankKernel representation
+# ----------------------------------------------------------------------
+def test_lowrank_kernel_dense_and_gram_rows():
+    factors = _factors(0, 20, 6)
+    kernel = LowRankKernel(factors)
+    assert kernel.ground_size == 20
+    assert kernel.rank == 6
+    dense = kernel.dense()
+    np.testing.assert_allclose(kernel.diagonal(), np.diagonal(dense), rtol=1e-12)
+    items = np.array([3, 11, 7])
+    np.testing.assert_allclose(
+        kernel.gram_rows(items), dense[np.ix_(items, items)], rtol=1e-12
+    )
+
+
+def test_lowrank_kernel_validation():
+    with pytest.raises(ValueError):
+        LowRankKernel(np.ones(3))
+    with pytest.raises(ValueError):
+        LowRankKernel(np.array([[1.0, np.nan]]))
+    with pytest.raises(ValueError):
+        LowRankKernel.from_quality_diversity(np.ones(3), np.ones((4, 2)))
+
+
+def test_from_quality_diversity_matches_dense_assembly():
+    rng = np.random.default_rng(1)
+    quality = np.exp(rng.normal(size=15))
+    diversity_factors = rng.normal(size=(15, 4))
+    kernel = LowRankKernel.from_quality_diversity(quality, diversity_factors)
+    expected = (
+        quality[:, None]
+        * (diversity_factors @ diversity_factors.T)
+        * quality[None, :]
+    )
+    np.testing.assert_allclose(kernel.dense(), expected, rtol=1e-12)
+
+
+def test_lifted_eigenvectors_are_orthonormal_eigenvectors():
+    factors = _factors(2, 30, 5)
+    kernel = LowRankKernel(factors)
+    eigenvalues, _ = kernel.eigh_dual()
+    lifted = kernel.lift_eigenvectors()
+    np.testing.assert_allclose(
+        lifted.T @ lifted, np.eye(lifted.shape[1]), atol=1e-10
+    )
+    np.testing.assert_allclose(
+        kernel.dense() @ lifted, lifted * eigenvalues, atol=1e-9
+    )
+    with pytest.raises(ValueError):
+        LowRankKernel(np.zeros((4, 2))).lift_eigenvectors(np.array([0]))
+
+
+# ----------------------------------------------------------------------
+# Spectrum / normalizer / probability parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed,m,r,k", [(0, 25, 6, 3), (1, 40, 8, 5), (2, 12, 12, 4)])
+def test_dual_spectrum_and_normalizer_match_dense(seed, m, r, k):
+    factors = _factors(seed, m, r)
+    dense = KDPP(factors @ factors.T, k, validate=False)
+    dual = KDPP.from_factors(factors, k)
+    assert dual.is_lowrank and not dense.is_lowrank
+    # The r dual eigenvalues are the nonzero part of the dense spectrum.
+    np.testing.assert_allclose(
+        np.sort(dense.eigenvalues)[-r:], np.sort(dual.eigenvalues), rtol=1e-8
+    )
+    assert np.max(np.sort(dense.eigenvalues)[: m - r], initial=0.0) < 1e-8
+    assert np.isclose(dense.log_normalizer, dual.log_normalizer, rtol=1e-10)
+    assert np.isclose(dense.normalizer, dual.normalizer, rtol=1e-8)
+    # e_k of the dual spectrum IS Eq. 6's Z_k.
+    assert np.isclose(
+        dual.normalizer,
+        elementary_symmetric_polynomials(dual.eigenvalues, k),
+        rtol=1e-8,
+    )
+
+
+@pytest.mark.parametrize("seed,m,r,k", [(3, 25, 6, 3), (4, 40, 8, 5)])
+def test_subset_log_probabilities_match_dense(seed, m, r, k):
+    factors = _factors(seed, m, r)
+    dense = KDPP(factors @ factors.T, k, validate=False)
+    dual = KDPP.from_factors(factors, k)
+    rng = np.random.default_rng(seed)
+    for _ in range(10):
+        subset = rng.choice(m, size=k, replace=False)
+        assert np.isclose(
+            dense.log_subset_probability(subset),
+            dual.log_subset_probability(subset),
+            rtol=1e-8,
+            atol=1e-10,
+        )
+        assert np.isclose(
+            dense.subset_probability(subset),
+            dual.subset_probability(subset),
+            rtol=1e-8,
+        )
+
+
+def test_oversized_subsets_have_zero_determinant():
+    factors = _factors(5, 20, 3)
+    dual = StandardDPP.from_factors(factors)
+    # Any subset larger than the rank is singular: exactly -inf / 0.
+    assert dual.subset_log_determinant([0, 1, 2, 3]) == -np.inf
+    assert dual.subset_probability([0, 1, 2, 3]) == 0.0
+
+
+def test_from_factors_rejects_rank_below_k():
+    factors = _factors(6, 20, 3)
+    with pytest.raises(ValueError, match="rank"):
+        KDPP.from_factors(factors, 4)
+    with pytest.raises(ValueError):
+        KDPP.from_factors(factors, 0)
+
+
+def test_standard_dpp_dual_normalizer_and_probabilities():
+    factors = _factors(7, 30, 5)
+    dense = StandardDPP(factors @ factors.T, validate=False)
+    dual = StandardDPP.from_factors(factors)
+    assert np.isclose(dense.log_normalizer, dual.log_normalizer, rtol=1e-10)
+    rng = np.random.default_rng(7)
+    for size in (0, 1, 3, 5):
+        subset = rng.choice(30, size=size, replace=False)
+        assert np.isclose(
+            dense.subset_probability(subset),
+            dual.subset_probability(subset),
+            rtol=1e-7,
+            atol=1e-15,
+        )
+
+
+def test_dual_enumeration_sums_to_one():
+    factors = _factors(8, 10, 4)
+    dual = KDPP.from_factors(factors, 3)
+    table = dual.enumerate_probabilities()
+    assert np.isclose(sum(table.values()), 1.0, rtol=1e-8)
+
+
+# ----------------------------------------------------------------------
+# Sampling parity under a shared seeded RNG
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed,m,r,k", [(0, 30, 6, 4), (1, 50, 10, 5), (2, 18, 5, 5)])
+def test_kdpp_samples_match_dense_under_fixed_rng(seed, m, r, k):
+    factors = _factors(seed, m, r)
+    dense = KDPP(factors @ factors.T, k, validate=False)
+    dual = KDPP.from_factors(factors, k)
+    for draw in range(25):
+        dense_sample = dense.sample(np.random.default_rng(1000 * seed + draw))
+        dual_sample = dual.sample(np.random.default_rng(1000 * seed + draw))
+        assert dense_sample == dual_sample
+        assert len(set(dual_sample)) == k
+
+
+@pytest.mark.parametrize("seed,m,r", [(0, 25, 5), (1, 40, 8)])
+def test_standard_dpp_samples_match_dense_under_fixed_rng(seed, m, r):
+    factors = _factors(seed, m, r)
+    dense = StandardDPP(factors @ factors.T, validate=False)
+    dual = StandardDPP.from_factors(factors)
+    for draw in range(25):
+        dense_sample = dense.sample(np.random.default_rng(2000 * seed + draw))
+        dual_sample = dual.sample(np.random.default_rng(2000 * seed + draw))
+        assert dense_sample == dual_sample
+        assert len(dual_sample) <= r
+
+
+def test_dual_kdpp_sampler_matches_exact_distribution():
+    """Beyond stream parity: dual samples follow the exact k-DPP law."""
+    factors = _factors(9, 8, 4, quality_spread=0.3)
+    dual = KDPP.from_factors(factors, 2)
+    exact = dual.enumerate_probabilities()
+    rng = np.random.default_rng(9)
+    counts: dict[frozenset, int] = {}
+    draws = 4000
+    for _ in range(draws):
+        key = frozenset(dual.sample(rng))
+        counts[key] = counts.get(key, 0) + 1
+    for subset, probability in exact.items():
+        observed = counts.get(subset, 0) / draws
+        assert abs(observed - probability) < 0.03
+
+
+def test_duplicate_rows_never_cosampled():
+    factors = _factors(10, 12, 4)
+    factors[7] = factors[3]  # exact duplicate: det of any set with both is 0
+    dense = KDPP(factors @ factors.T, 3, validate=False)
+    dual = KDPP.from_factors(factors, 3)
+    assert dual.subset_probability([3, 7, 1]) == 0.0
+    rng = np.random.default_rng(10)
+    for _ in range(50):
+        sample = dual.sample(rng)
+        assert not {3, 7} <= set(sample)
+    for draw in range(10):
+        assert dense.sample(np.random.default_rng(draw)) == dual.sample(
+            np.random.default_rng(draw)
+        )
+
+
+# ----------------------------------------------------------------------
+# Greedy MAP factor path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed,m,r,k", [(0, 30, 6, 5), (1, 60, 10, 8), (2, 15, 4, 4)])
+def test_greedy_map_factor_path_matches_dense(seed, m, r, k):
+    factors = _factors(seed, m, r)
+    dense_selection = greedy_map(factors @ factors.T, k)
+    dual_selection = greedy_map(LowRankKernel(factors), k)
+    assert dense_selection == dual_selection
+
+
+def test_greedy_map_factor_path_with_candidates_and_rank_stop():
+    factors = _factors(3, 20, 3)
+    candidates = np.array([1, 4, 9, 13, 17])
+    assert greedy_map(LowRankKernel(factors), 3, candidates=candidates) == greedy_map(
+        factors @ factors.T, 3, candidates=candidates
+    )
+    # Requesting more items than the rank supports: the marginal-gain
+    # floor stops the selection early on both paths, identically.
+    assert greedy_map(LowRankKernel(factors), 6) == greedy_map(factors @ factors.T, 6)
+
+
+# ----------------------------------------------------------------------
+# Log-space probabilities (determinant underflow fix)
+# ----------------------------------------------------------------------
+def test_tiny_determinants_survive_in_log_space():
+    # det(L_S) = 1e-600 underflows float64; the slogdet path keeps the
+    # exact ratio det(L_S) / Z_k, which is a perfectly ordinary number.
+    kdpp = KDPP(1e-120 * np.eye(10), 5, validate=False)
+    assert kdpp.subset_determinant([0, 1, 2, 3, 4]) == 0.0  # the det itself underflows
+    assert np.isfinite(kdpp.log_subset_probability([0, 1, 2, 3, 4]))
+    assert np.isclose(kdpp.subset_probability([0, 1, 2, 3, 4]), 1.0 / 252.0, rtol=1e-9)
+    table = kdpp.enumerate_probabilities()
+    assert np.isclose(sum(table.values()), 1.0, rtol=1e-9)
+
+
+def test_tiny_determinants_standard_dpp():
+    scale = 1e-150
+    dpp = StandardDPP(scale * np.eye(6), validate=False)
+    expected_log = 3 * np.log(scale) - dpp.log_normalizer
+    assert np.isclose(dpp.log_subset_probability([0, 1, 2]), expected_log, rtol=1e-12)
+    assert np.isclose(
+        dpp.subset_probability([0, 1, 2]), np.exp(expected_log), rtol=1e-9
+    )
+
+
+def test_huge_spectra_survive_in_log_space():
+    kdpp = KDPP(1e150 * np.eye(8), 3, validate=False)
+    assert np.isclose(kdpp.subset_probability([0, 1, 2]), 1.0 / 56.0, rtol=1e-9)
+    sample = kdpp.sample(np.random.default_rng(0))
+    assert len(set(sample)) == 3
+
+
+def test_log_esp_matches_direct_and_handles_rank():
+    rng = np.random.default_rng(11)
+    eigenvalues = rng.uniform(0.1, 3.0, size=12)
+    for k in (1, 3, 7):
+        assert np.isclose(
+            log_esp(eigenvalues, k),
+            np.log(elementary_symmetric_polynomials(eigenvalues, k)),
+            rtol=1e-10,
+        )
+    assert log_esp(eigenvalues, 0) == 0.0
+    assert log_esp(np.array([1.0, 2.0, 0.0]), 3) == -np.inf
+    with pytest.raises(ValueError):
+        log_esp(eigenvalues, 13)
+
+
+# ----------------------------------------------------------------------
+# Factor plumbing: learner, LkP criterion, probability analysis
+# ----------------------------------------------------------------------
+def test_factors_normalized_gram_matches_kernel():
+    learner = DiversityKernelLearner(
+        30, DiversityKernelConfig(rank=6, epochs=2, seed=0)
+    )
+    rng = np.random.default_rng(0)
+    pairs = [
+        (rng.choice(30, size=3, replace=False), rng.choice(30, size=3, replace=False))
+        for _ in range(8)
+    ]
+    learner.fit(pairs)
+    for normalize in ("correlation", "none"):
+        factors = learner.factors_normalized(normalize=normalize)
+        np.testing.assert_allclose(
+            factors @ factors.T, learner.kernel(normalize=normalize), atol=1e-10
+        )
+    with pytest.raises(ValueError):
+        learner.factors_normalized(normalize="bogus")
+
+
+def _lkp_world(seed: int = 0):
+    rng = np.random.default_rng(seed)
+    num_items, num_users, r = 40, 6, 5
+    diversity_factors = rng.normal(size=(num_items, r))
+    diversity_factors /= np.linalg.norm(diversity_factors, axis=1, keepdims=True)
+    diversity_kernel = diversity_factors @ diversity_factors.T
+    model = MFRecommender(num_users, num_items, dim=6, rng=seed)
+    batch = []
+    for b in range(6):
+        items = rng.choice(num_items, size=6, replace=False)
+        batch.append(
+            GroundSetInstance(user=b % num_users, targets=items[:3], negatives=items[3:])
+        )
+    return diversity_kernel, diversity_factors, model, batch
+
+
+@pytest.mark.parametrize("backend", ["batched", "reference"])
+def test_lkp_criterion_factor_mode_matches_dense(backend):
+    diversity_kernel, diversity_factors, model, batch = _lkp_world()
+    shared = dict(k=3, n=3, use_negative_set=True, backend=backend)
+    dense_criterion = LkPCriterion(diversity_kernel=diversity_kernel, **shared)
+    factor_criterion = LkPCriterion(diversity_factors=diversity_factors, **shared)
+    representations = model.representations()
+    dense_loss = dense_criterion.batch_loss(model, representations, batch)
+    factor_loss = factor_criterion.batch_loss(model, representations, batch)
+    assert np.isclose(dense_loss.item(), factor_loss.item(), rtol=1e-10)
+
+    dense_loss.backward()
+    dense_grads = [p.grad.copy() for p in model.parameters()]
+    for p in model.parameters():
+        p.grad = None
+    factor_loss.backward()
+    for dense_grad, p in zip(dense_grads, model.parameters()):
+        np.testing.assert_allclose(dense_grad, p.grad, rtol=1e-8, atol=1e-12)
+
+
+def test_lkp_criterion_factor_validation():
+    with pytest.raises(ValueError, match="either"):
+        LkPCriterion(
+            diversity_kernel=np.eye(4), diversity_factors=np.ones((4, 2))
+        )
+    with pytest.raises(ValueError, match="needs the pre-learned"):
+        LkPCriterion()
+    with pytest.raises(ValueError):
+        LkPCriterion(diversity_factors=np.ones(4))
+
+
+def test_lkp_make_sampler_checks_factor_item_count():
+    dataset = movielens_like(scale=0.2).filter_min_interactions(4)
+    split = dataset.split(np.random.default_rng(0))
+    criterion = LkPCriterion(
+        k=2, n=2, diversity_factors=np.ones((dataset.num_items + 3, 2))
+    )
+    with pytest.raises(ValueError, match="covers"):
+        criterion.make_sampler(split)
+
+
+def test_probability_analysis_accepts_lowrank_kernel():
+    dataset = movielens_like(scale=0.3).filter_min_interactions(5)
+    split = dataset.split(np.random.default_rng(0))
+    rng = np.random.default_rng(1)
+    factors = rng.normal(size=(dataset.num_items, 6))
+    factors /= np.linalg.norm(factors, axis=1, keepdims=True)
+    lowrank = LowRankKernel(factors)
+    dense = factors @ factors.T
+    model = MFRecommender(dataset.num_users, dataset.num_items, dim=6, rng=0)
+    sampler = GroundSetSampler(split, k=3, n=3, mode="S")
+    instances = sampler.instances(np.random.default_rng(2))[:6]
+    for instance in instances[:3]:
+        np.testing.assert_allclose(
+            ground_set_kernel_np(model, lowrank, instance),
+            ground_set_kernel_np(model, dense, instance),
+            rtol=1e-10,
+        )
+    dense_report = target_count_probabilities(model, dense, instances)
+    lowrank_report = target_count_probabilities(model, lowrank, instances)
+    np.testing.assert_allclose(
+        dense_report.mean_probability, lowrank_report.mean_probability, rtol=1e-8
+    )
+
+
+def test_wide_factors_more_columns_than_items():
+    # r > M is legal (e.g. a small candidate list under rank-32 factors):
+    # rank(L) <= M, the extra dual eigenvalues are exactly zero.
+    rng = np.random.default_rng(12)
+    factors = rng.normal(size=(5, 8))
+    dense = StandardDPP(factors @ factors.T, validate=False)
+    dual = StandardDPP.from_factors(factors)
+    assert np.isclose(dense.log_normalizer, dual.log_normalizer, rtol=1e-10)
+    for draw in range(15):
+        assert dense.sample(np.random.default_rng(draw)) == dual.sample(
+            np.random.default_rng(draw)
+        )
+    dense_k = KDPP(factors @ factors.T, 3, validate=False)
+    dual_k = KDPP.from_factors(factors, 3)
+    assert np.isclose(
+        dense_k.log_subset_probability([0, 2, 4]),
+        dual_k.log_subset_probability([0, 2, 4]),
+        rtol=1e-9,
+    )
+    for draw in range(15):
+        assert dense_k.sample(np.random.default_rng(draw)) == dual_k.sample(
+            np.random.default_rng(draw)
+        )
+
+
+def test_linear_domain_accessors_saturate_to_inf():
+    # Past float64 range the linear-domain conveniences degrade to inf
+    # (as the pre-log-space det/e_k code did) instead of raising.
+    kdpp = KDPP(1e150 * np.eye(8), 3, validate=False)
+    assert kdpp.normalizer == np.inf
+    assert kdpp.subset_determinant([0, 1, 2]) == np.inf
+    assert np.isfinite(kdpp.log_normalizer)
+
+
+def test_dense_kdpp_rejects_rank_below_k():
+    with pytest.raises(ValueError, match="rank"):
+        KDPP(np.diag([1.0, 1.0, 0.0, 0.0, 0.0]), 3, validate=False)

@@ -151,3 +151,79 @@ def test_metrics_monotone_in_cutoff():
     result = evaluate_scores(scores, split, cutoffs=(1, 3, 5))
     assert result["Re@1"] <= result["Re@3"] <= result["Re@5"]
     assert result["CC@1"] <= result["CC@3"] <= result["CC@5"]
+
+
+def _reference_evaluate(scores, split, cutoffs, target):
+    """The pre-vectorization evaluate_scores: per-user sets + top_k_indices."""
+    from repro.eval.evaluate import METRIC_FAMILIES, EvalResult
+    from repro.eval.metrics import category_coverage, f_score, ndcg_at_n, recall_at_n
+    from repro.utils.topk import top_k_indices
+
+    dataset = split.dataset
+    held_out = split.test if target == "test" else split.val
+    max_cutoff = max(cutoffs)
+    sums = {f"{family}@{n}": 0.0 for family in METRIC_FAMILIES for n in cutoffs}
+    evaluated = 0
+    for user in range(dataset.num_users):
+        relevant = set(map(int, held_out[user]))
+        if not relevant:
+            continue
+        if target == "test":
+            exclude = np.fromiter(split.known_set(user), dtype=np.int64)
+        else:
+            exclude = np.fromiter(split.train_set(user), dtype=np.int64)
+        top = top_k_indices(scores[user], max_cutoff, exclude=exclude)
+        evaluated += 1
+        for n in cutoffs:
+            head = top[:n]
+            recall = recall_at_n(head, relevant)
+            ndcg = ndcg_at_n(head, relevant)
+            coverage = category_coverage(
+                head, dataset.item_categories, dataset.num_categories
+            )
+            sums[f"Re@{n}"] += recall
+            sums[f"Nd@{n}"] += ndcg
+            sums[f"CC@{n}"] += coverage
+            sums[f"F@{n}"] += f_score(recall, ndcg, coverage)
+    metrics = {key: value / evaluated for key, value in sums.items()}
+    return EvalResult(metrics=metrics, num_users_evaluated=evaluated)
+
+
+@pytest.mark.parametrize("target", ["test", "val"])
+def test_evaluate_scores_matches_per_user_reference(target):
+    # The vectorized exclusion scatter + single argpartition pass must
+    # reproduce the per-user top_k_indices protocol metric for metric,
+    # including users whose rankable catalog is smaller than the cutoff.
+    from repro.data import movielens_like
+
+    dataset = movielens_like(scale=0.3).filter_min_interactions(5)
+    split = dataset.split(np.random.default_rng(0))
+    rng = np.random.default_rng(3)
+    scores = rng.normal(size=(dataset.num_users, dataset.num_items))
+    cutoffs = (5, 10, dataset.num_items)
+    fast = evaluate_scores(scores, split, cutoffs=cutoffs, target=target)
+    slow = _reference_evaluate(scores, split, cutoffs=cutoffs, target=target)
+    assert fast.num_users_evaluated == slow.num_users_evaluated
+    assert fast.metrics.keys() == slow.metrics.keys()
+    for key, value in slow.metrics.items():
+        assert np.isclose(fast.metrics[key], value, rtol=0, atol=1e-12), key
+
+
+@pytest.mark.parametrize("target", ["test", "val"])
+def test_evaluate_scores_matches_reference_with_tied_scores(target):
+    # Integer-valued scorers (popularity counts, vote tallies) tie
+    # constantly, including across the cutoff boundary; the vectorized
+    # path must resolve every tie exactly as the per-user reference does.
+    from repro.data import movielens_like
+
+    dataset = movielens_like(scale=0.3).filter_min_interactions(5)
+    split = dataset.split(np.random.default_rng(0))
+    rng = np.random.default_rng(4)
+    scores = rng.integers(0, 4, size=(dataset.num_users, dataset.num_items)).astype(
+        np.float64
+    )
+    cutoffs = (5, 20)
+    fast = evaluate_scores(scores, split, cutoffs=cutoffs, target=target)
+    slow = _reference_evaluate(scores, split, cutoffs=cutoffs, target=target)
+    for key, value in slow.metrics.items():
+        assert np.isclose(fast.metrics[key], value, rtol=0, atol=1e-12), key

@@ -18,14 +18,10 @@ Run:  python examples/diverse_recommendations.py
 import numpy as np
 
 from repro.data import beauty_like, mine_diversity_pairs
-from repro.dpp import (
-    DiversityKernelConfig,
-    DiversityKernelLearner,
-    LowRankKernel,
-    greedy_map,
-)
+from repro.dpp import DiversityKernelConfig, DiversityKernelLearner
 from repro.losses import BPRCriterion, make_lkp_variant
 from repro.models import MFRecommender
+from repro.serving import ItemCatalog, KDPPServer, RecommenderBridge
 from repro.train import TrainConfig, Trainer
 from repro.utils.topk import top_k_indices
 
@@ -75,7 +71,6 @@ def main() -> None:
     # Study the user with the most held-out items (most signal to show).
     user = int(np.argmax([items.shape[0] for items in split.test]))
     known = np.fromiter(split.known_set(user), dtype=np.int64)
-    candidates = np.setdiff1d(np.arange(dataset.num_items), known)
 
     # 1. Raw Top-5 by BPR score.
     bpr_scores = bpr_model.full_scores()[user]
@@ -83,17 +78,27 @@ def main() -> None:
     print("1. BPR top-5 by raw score:")
     print("   " + describe(dataset, top_by_score))
 
-    # 2. Greedy MAP re-ranking of the BPR model's kernel.  The quality
-    # temperature plays the role of Chen et al.'s relevance-diversity
-    # trade-off parameter: raw exp(score) would make quality so dominant
-    # that MAP degenerates to plain top-k.  The Eq. 2 kernel stays in
-    # factored form (Diag(q) V), so this scales to any catalog size.
-    temperature = 4.0
-    quality = np.exp(np.clip(bpr_scores[candidates], -12, 12) / temperature)
-    local = LowRankKernel.from_quality_diversity(quality, factors[candidates])
-    map_local = greedy_map(local, 5)
-    map_items = [int(candidates[i]) for i in map_local]
-    print("2. BPR + greedy DPP MAP re-ranking:")
+    # 2. Greedy MAP re-ranking of the BPR model's kernel — served by the
+    # engine instead of a hand-built per-user KDPP: the catalog snapshots
+    # V once, the bridge maps BPR scores to Eq. 2 qualities (the
+    # temperature plays Chen et al.'s relevance-diversity trade-off
+    # role) and excludes each user's known items, and one KDPPServer
+    # batch would serve every user of the catalog at once.
+    catalog = ItemCatalog(factors)
+    known_items = [
+        np.fromiter(split.known_set(u), dtype=np.int64)
+        for u in range(dataset.num_users)
+    ]
+    bridge = RecommenderBridge(
+        bpr_model,
+        catalog,
+        server=KDPPServer(catalog),
+        known_items=known_items,
+        temperature=4.0,
+    )
+    response = bridge.recommend([user], k=5, mode="map")[0]
+    map_items = response.items
+    print("2. BPR + greedy DPP MAP re-ranking (serving engine):")
     print("   " + describe(dataset, map_items))
 
     # 3. LkP-trained model's raw Top-5 (diversity learned, not re-ranked).

@@ -36,13 +36,15 @@ def main() -> None:
         dataset.num_items, DiversityKernelConfig(rank=16, epochs=15, lr=0.03)
     )
     learner.fit(pairs)
-    kernel = learner.kernel()
+    # Keep K in factored form (K = V Vᵀ): the criterion gathers
+    # r-dimensional factor rows and never materializes an M×M matrix.
+    factors = learner.factors_normalized()
     print(f"diversity kernel trained on {len(pairs)} (diverse, monotonous) pairs")
 
     # 3. Train MF with LkP-NPS, and MF with BPR for comparison.
     results = {}
     for name, criterion, lr in (
-        ("LkP-NPS", make_lkp_variant("NPS", diversity_kernel=kernel, k=5, n=5), 0.05),
+        ("LkP-NPS", make_lkp_variant("NPS", diversity_factors=factors, k=5, n=5), 0.05),
         ("BPR", BPRCriterion(), 0.02),
     ):
         model = MFRecommender(dataset.num_users, dataset.num_items, dim=16, rng=0)

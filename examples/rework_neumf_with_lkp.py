@@ -41,7 +41,7 @@ def main() -> None:
         dataset.num_items, DiversityKernelConfig(rank=16, epochs=15, lr=0.03)
     )
     learner.fit(pairs)
-    kernel = learner.kernel()
+    factors = learner.factors_normalized()
 
     runs = {
         # NeuMF's native objective: pointwise binary cross-entropy.
@@ -49,7 +49,8 @@ def main() -> None:
         # The rework: identical architecture, LkP-NPS objective.  NeuMF
         # outputs probabilities, so LkP applies its sigmoid quality
         # transform automatically (model.quality_transform == "sigmoid").
-        "NeuMF-NPS": (make_lkp_variant("NPS", diversity_kernel=kernel, k=5, n=5), 0.05),
+        # K stays factored — the criterion gathers r-dim rows of V.
+        "NeuMF-NPS": (make_lkp_variant("NPS", diversity_factors=factors, k=5, n=5), 0.05),
     }
 
     results = {}

@@ -16,6 +16,9 @@ and **every substrate it stands on**, from scratch, on numpy:
   Set2SetRank baselines and the paper's analytic gradients;
 * :mod:`repro.train` / :mod:`repro.eval` — training and evaluation
   harnesses;
+* :mod:`repro.serving` — the batched multi-user k-DPP serving engine
+  (catalog snapshots with cached dual spectra, request batching,
+  recommender bridging);
 * :mod:`repro.experiments` — runners regenerating every table and figure.
 
 Quickstart::
@@ -32,13 +35,33 @@ Quickstart::
     learner = DiversityKernelLearner(dataset.num_items)
     learner.fit(mine_diversity_pairs(split, set_size=5, mode="monotonous"))
     model = MFRecommender(dataset.num_users, dataset.num_items, dim=32, rng=0)
-    criterion = make_lkp_variant("NPS", diversity_kernel=learner.kernel())
+    # K stays in factored form (K = V Vᵀ): training gathers r-dim rows.
+    criterion = make_lkp_variant("NPS", diversity_factors=learner.factors_normalized())
     trainer = Trainer(model, criterion, split, TrainConfig(epochs=60, lr=0.05))
     trainer.fit()
     print(trainer.evaluate().metrics)
+
+Serving the trained model at scale::
+
+    from repro.serving import ItemCatalog, RecommenderBridge
+
+    catalog = ItemCatalog.from_learner(learner)
+    bridge = RecommenderBridge(model, catalog, known_items=split.train)
+    responses = bridge.recommend(range(dataset.num_users), k=10, mode="map")
 """
 
-from . import autodiff, data, dpp, eval, experiments, losses, models, train, utils
+from . import (
+    autodiff,
+    data,
+    dpp,
+    eval,
+    experiments,
+    losses,
+    models,
+    serving,
+    train,
+    utils,
+)
 
 __version__ = "1.0.0"
 
@@ -50,6 +73,7 @@ __all__ = [
     "losses",
     "train",
     "eval",
+    "serving",
     "experiments",
     "utils",
     "__version__",

@@ -28,6 +28,7 @@ from .esp import (
     batched_differentiable_log_esp,
     batched_esp_leave_one_out,
     batched_esp_table,
+    batched_log_esp,
     differentiable_esps,
     differentiable_log_esp,
     differentiable_log_esp_newton,
@@ -42,7 +43,11 @@ from .kdpp import (
     KDPP,
     StandardDPP,
     batched_log_kdpp_probability,
+    batched_sample_elementary_shared,
+    batched_sample_elementary_stacked,
+    kdpp_spectrum_scale,
     log_kdpp_probability,
+    select_eigenvectors_from_esp_table,
     validate_psd_kernel,
 )
 from .kernels import (
@@ -58,7 +63,12 @@ from .kernels import (
     quality_diversity_kernel_np,
     sigmoid_quality,
 )
-from .map_inference import greedy_map, greedy_map_reference
+from .map_inference import (
+    batched_greedy_map_shared,
+    batched_greedy_map_stacked,
+    greedy_map,
+    greedy_map_reference,
+)
 
 __all__ = [
     "KDPP",
@@ -66,8 +76,13 @@ __all__ = [
     "log_kdpp_probability",
     "batched_log_kdpp_probability",
     "validate_psd_kernel",
+    "kdpp_spectrum_scale",
+    "select_eigenvectors_from_esp_table",
+    "batched_sample_elementary_shared",
+    "batched_sample_elementary_stacked",
     "elementary_symmetric_polynomials",
     "log_esp",
+    "batched_log_esp",
     "esp_table",
     "esp_bruteforce",
     "esp_from_power_sums",
@@ -94,4 +109,6 @@ __all__ = [
     "category_jaccard_kernel",
     "greedy_map",
     "greedy_map_reference",
+    "batched_greedy_map_shared",
+    "batched_greedy_map_stacked",
 ]

@@ -199,24 +199,40 @@ class DiversityKernelLearner:
             np.fill_diagonal(kernel, diagonal_values)
         return kernel
 
-    def factors_normalized(self, normalize: str = "correlation") -> np.ndarray:
-        """The ``num_items x rank`` factors whose Gram is :meth:`kernel`.
+    def factors_normalized(
+        self, normalize: str = "correlation", shrink: float = 0.0
+    ) -> np.ndarray:
+        """Factors whose Gram is :meth:`kernel` with the same arguments.
 
         Correlation-normalizing ``K = V Vᵀ`` to unit diagonal is exactly
         row-normalizing ``V`` (``K_ij / sqrt(K_ii K_jj) = v̂_i · v̂_j``), so
         the serving-side dual-kernel machinery (:class:`LowRankKernel`,
         ``KDPP.from_factors``, the factor path of ``greedy_map``) and the
         LkP criterion can gather r-dimensional factor rows instead of
-        slicing — or ever materializing — the M×M kernel.  ``shrink`` has
-        no factored form (blending with the identity raises the rank), so
-        shrunk kernels must go through :meth:`kernel`.
+        slicing — or ever materializing — the M×M kernel.
+
+        ``shrink > 0`` blends toward the (scaled) identity while keeping
+        the diagonal, ``K' = (1 - s) V̂ V̂ᵀ + s Diag(diag(V̂ V̂ᵀ))``, which
+        *is* factorable — at the cost of rank: the returned matrix is
+        ``[√(1-s) V̂ | √s Diag(√diag)]`` of shape ``(M, r + M)``.  Row
+        gathers over small ground sets (the LkP criterion's use) stay
+        cheap; catalog-scale dual serving should keep ``shrink = 0``,
+        where the rank stays r.
         """
         if normalize not in ("correlation", "none"):
             raise ValueError(f"normalize must be 'correlation' or 'none', got {normalize!r}")
+        if not 0.0 <= shrink < 1.0:
+            raise ValueError(f"shrink must be in [0, 1), got {shrink}")
         v = self.factors.data
         if self.config.unit_norm or normalize == "correlation":
             v = v / np.clip(np.linalg.norm(v, axis=1, keepdims=True), 1e-12, None)
-        return np.array(v, dtype=np.float64, copy=True)
+        v = np.array(v, dtype=np.float64, copy=True)
+        if shrink:
+            diagonal = (v**2).sum(axis=1)
+            augmentation = np.zeros((v.shape[0], v.shape[0]), dtype=np.float64)
+            np.fill_diagonal(augmentation, np.sqrt(shrink * diagonal))
+            v = np.concatenate([np.sqrt(1.0 - shrink) * v, augmentation], axis=1)
+        return v
 
     def submatrix(self, items: np.ndarray, normalize: str = "correlation") -> np.ndarray:
         """``K`` restricted to ``items`` without materializing all of K."""

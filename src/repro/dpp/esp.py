@@ -43,6 +43,7 @@ from ..autodiff import Tensor, functional as F
 __all__ = [
     "elementary_symmetric_polynomials",
     "log_esp",
+    "batched_log_esp",
     "esp_table",
     "esp_bruteforce",
     "esp_from_power_sums",
@@ -108,6 +109,55 @@ def log_esp(eigenvalues: np.ndarray, k: int) -> float:
     if e_k <= 0.0:  # pragma: no cover - only reachable through round-off
         return -np.inf
     return float(np.log(e_k) + k * np.log(scale))
+
+
+def batched_log_esp(eigenvalues: np.ndarray, k: int | np.ndarray) -> np.ndarray:
+    """``log e_k`` of every PSD spectrum in a ``(B, m)`` stack.
+
+    The numpy-side serving twin of :func:`log_esp` — the batched k-DPP
+    normalizer behind :class:`repro.serving.KDPPServer`.  ``k`` may be a
+    scalar or a ``(B,)`` integer array (heterogeneous request sizes).
+    Per-row numerics mirror :func:`log_esp` exactly: clip the spectrum at
+    zero, rescale by the geometric mean of the top-k eigenvalues, run
+    Algorithm 1 — vectorized over the batch through
+    :func:`batched_esp_table`, whose recursion is elementwise identical
+    to the per-row :func:`esp_table`.  Rows with fewer than k nonzero
+    eigenvalues come back ``-inf`` (``e_k = 0``), matching the scalar
+    path.
+    """
+    eigenvalues = np.clip(np.asarray(eigenvalues, dtype=np.float64), 0.0, None)
+    if eigenvalues.ndim != 2:
+        raise ValueError(f"expected (B, m) eigenvalues, got {eigenvalues.shape}")
+    batch, m = eigenvalues.shape
+    ks = np.broadcast_to(np.asarray(k, dtype=np.int64), (batch,))
+    if np.any(ks < 0) or np.any(ks > m):
+        raise ValueError(f"every k must be in [0, {m}], got {np.unique(ks)}")
+    out = np.full(batch, -np.inf, dtype=np.float64)
+    sorted_rows = np.sort(eigenvalues, axis=1)
+    # Per-row scale via the exact expression of log_esp so a server batch
+    # reproduces the one-request-at-a-time normalizers bit for bit.
+    scales = np.ones(batch, dtype=np.float64)
+    live = np.zeros(batch, dtype=bool)
+    for row in range(batch):
+        k_row = int(ks[row])
+        if k_row == 0:
+            out[row] = 0.0
+            continue
+        top_k = sorted_rows[row, m - k_row :]
+        if top_k[0] <= 0.0:
+            continue  # rank below k: e_k = 0, stays -inf
+        scales[row] = float(np.exp(np.mean(np.log(top_k))))
+        live[row] = True
+    if not np.any(live):
+        return out
+    max_k = int(ks[live].max())
+    table = batched_esp_table(eigenvalues / scales[:, None], max_k)
+    e_k = table[np.arange(batch), np.minimum(ks, max_k), -1]
+    with np.errstate(divide="ignore"):
+        values = np.log(e_k) + ks * np.log(scales)
+    positive = live & (e_k > 0.0)
+    out[positive] = values[positive]
+    return out
 
 
 def esp_bruteforce(eigenvalues: np.ndarray, k: int) -> float:

@@ -50,6 +50,10 @@ __all__ = [
     "log_kdpp_probability",
     "batched_log_kdpp_probability",
     "validate_psd_kernel",
+    "kdpp_spectrum_scale",
+    "select_eigenvectors_from_esp_table",
+    "batched_sample_elementary_shared",
+    "batched_sample_elementary_stacked",
 ]
 
 
@@ -396,23 +400,35 @@ class StandardDPP:
         return _sample_from_elementary(vectors, rng)
 
 
-def _select_k_eigenvector_indices(
-    eigenvalues: np.ndarray, k: int, rng: np.random.Generator
-) -> list[int]:
-    """Phase 1 of k-DPP sampling: pick exactly k eigenvector indices.
+def kdpp_spectrum_scale(eigenvalues: np.ndarray, k: int) -> float:
+    """Geometric mean of the top-k eigenvalues (1.0 for deficient spectra).
 
-    Walks the ESP table backwards (Kulesza & Taskar Alg. 8).  The spectrum
-    is pre-scaled by the geometric mean of its top-k entries — every
-    inclusion probability is a ratio of ESPs, hence scale-invariant, but
-    the table entries themselves stay inside float64 range even for the
-    huge/tiny spectra Eq. 13's exponential qualities produce.
+    The pre-scaling applied before any ESP-table work: every inclusion
+    probability in the sampler is a ratio of ESPs, hence scale-invariant,
+    but dividing by this scale keeps the table entries inside float64
+    range even for the huge/tiny spectra Eq. 13's exponential qualities
+    produce.  Exposed so the batched serving path can reproduce the
+    per-request scaling bit for bit.
     """
-    eigenvalues = np.asarray(eigenvalues, dtype=np.float64)
-    m = eigenvalues.shape[0]
-    top_k = np.sort(eigenvalues)[-k:]
-    scale = float(np.exp(np.mean(np.log(top_k)))) if top_k[0] > 0 else 1.0
-    scaled = eigenvalues / scale
-    table = esp_table(scaled, k)
+    top_k = np.sort(np.asarray(eigenvalues, dtype=np.float64))[-k:]
+    return float(np.exp(np.mean(np.log(top_k)))) if top_k[0] > 0 else 1.0
+
+
+def select_eigenvectors_from_esp_table(
+    scaled_eigenvalues: np.ndarray,
+    table: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> list[int]:
+    """Walk a precomputed ESP table backwards (Kulesza & Taskar Alg. 8).
+
+    ``table`` is :func:`~repro.dpp.esp.esp_table` of the scaled spectrum
+    (or one row of its batched twin — the recursions are elementwise
+    identical, so precomputing tables for a whole request batch leaves
+    each request's walk, and hence its RNG stream, unchanged).  One
+    uniform is consumed per index whose conditional is well defined.
+    """
+    m = scaled_eigenvalues.shape[0]
     remaining = k
     chosen: list[int] = []
     for index in range(m, 0, -1):
@@ -423,7 +439,9 @@ def _select_k_eigenvector_indices(
         denominator = table[remaining, index]
         if denominator <= 0:
             continue
-        include = scaled[index - 1] * table[remaining - 1, index - 1] / denominator
+        include = (
+            scaled_eigenvalues[index - 1] * table[remaining - 1, index - 1] / denominator
+        )
         if rng.random() < include:
             chosen.append(index - 1)
             remaining -= 1
@@ -433,6 +451,15 @@ def _select_k_eigenvector_indices(
             f"below k={k}"
         )
     return chosen
+
+
+def _select_k_eigenvector_indices(
+    eigenvalues: np.ndarray, k: int, rng: np.random.Generator
+) -> list[int]:
+    """Phase 1 of k-DPP sampling: pick exactly k eigenvector indices."""
+    eigenvalues = np.asarray(eigenvalues, dtype=np.float64)
+    scaled = eigenvalues / kdpp_spectrum_scale(eigenvalues, k)
+    return select_eigenvectors_from_esp_table(scaled, esp_table(scaled, k), k, rng)
 
 
 def _sample_from_elementary(vectors: np.ndarray, rng: np.random.Generator) -> list[int]:
@@ -473,6 +500,183 @@ def _sample_from_elementary(vectors: np.ndarray, rng: np.random.Generator) -> li
         basis -= 2.0 * np.outer(basis @ reflector, reflector)
         basis = basis[:, :-1]
     return sample
+
+
+def _elementary_choice(norms: np.ndarray, rng: np.random.Generator) -> int:
+    """One inverse-CDF draw replicating ``rng.choice(m, p=norms/total)``.
+
+    ``Generator.choice`` with a probability vector consumes exactly one
+    uniform and inverts the normalized CDF with a right-sided
+    ``searchsorted``; doing the same by hand lets the batched samplers
+    share a vectorized per-step norm update while each request keeps the
+    identical RNG stream (and, away from measure-zero CDF boundaries,
+    the identical pick) of the per-request Householder sampler.  The
+    inversion runs on the unnormalized CDF — one pass instead of three —
+    which matches the normalized form up to the same boundary-width
+    caveat.
+    """
+    cdf = np.cumsum(norms)
+    total = cdf[-1]
+    if total <= 0:  # pragma: no cover - degenerate basis
+        raise RuntimeError("elementary DPP sampler ran out of mass")
+    # u < 1 strictly, but u * total can round up to exactly total, where
+    # a right-sided search would step past the last item; clamp.  (The
+    # normalized form in Generator.choice sidesteps this by construction.)
+    index = int(cdf.searchsorted(rng.random() * total, side="right"))
+    return min(index, norms.shape[0] - 1)
+
+
+def _projector_sample_steps(
+    row_norm_stack: np.ndarray,
+    gather_coordinates,
+    apply_direction,
+    rngs: Sequence[np.random.Generator],
+    steps: int,
+) -> list[list[int]]:
+    """Shared driver of the batched projector-based elementary samplers.
+
+    Where the per-request sampler conditions by reflecting an explicit
+    ``(M, p)`` basis, the batched form tracks each request's subspace as
+    a tiny ``p × p`` coordinate matrix ``A`` (projector ``P = G A Gᵀ``
+    for the fixed orthonormal basis ``G``): conditioning on item ``j``
+    subtracts the rank-one direction ``c = A g_j / sqrt(n_j)`` from
+    ``A`` and ``(G c)²`` from the row norms.  All O(ground-size) work —
+    computing ``G c`` and updating the norms — is delegated to
+    ``apply_direction``, which the callers implement as one batched
+    matmul per step for the whole request group.
+    """
+    batch = row_norm_stack.shape[0]
+    coordinate_dim = steps
+    projectors = np.broadcast_to(
+        np.eye(coordinate_dim), (batch, coordinate_dim, coordinate_dim)
+    ).copy()
+    samples: list[list[int]] = [[] for _ in range(batch)]
+    for step in range(steps):
+        items = np.empty(batch, dtype=np.int64)
+        for b in range(batch):
+            items[b] = _elementary_choice(row_norm_stack[b], rngs[b])
+            samples[b].append(int(items[b]))
+        if step == steps - 1:
+            break
+        # g_j = Gᵀ e_j for each request's chosen item, in coordinates.
+        g = gather_coordinates(items)  # (B, p)
+        picked_norms = row_norm_stack[np.arange(batch), items]
+        c = np.einsum("bpq,bq->bp", projectors, g)
+        c /= np.sqrt(np.maximum(picked_norms, 1e-300))[:, None]
+        projectors -= c[:, :, None] * c[:, None, :]
+        # One batched pass updates every request's row norms: n -= (G c)².
+        apply_direction(c, row_norm_stack)
+        np.maximum(row_norm_stack, 0.0, out=row_norm_stack)
+        row_norm_stack[np.arange(batch), items] = 0.0
+    return samples
+
+
+def batched_sample_elementary_shared(
+    diversity_factors: np.ndarray,
+    quality: np.ndarray,
+    coefficients: np.ndarray,
+    rngs: Sequence[np.random.Generator],
+    gram_products: tuple[np.ndarray, tuple[np.ndarray, np.ndarray]] | None = None,
+) -> list[list[int]]:
+    """Elementary-DPP samples for a batch of requests sharing one ``V``.
+
+    Each request ``b`` samples the projection DPP spanned by the columns
+    of ``G_b = Diag(q_b) V W_b`` — the lifted dual eigenvectors of its
+    personalized kernel — where ``V`` is the shared ``(M, r)`` catalog
+    factor matrix, ``quality`` is ``(B, M)`` and ``coefficients`` holds
+    the ``(B, r, p)`` lift matrices ``W_b`` (columns of ``G_b`` must be
+    orthonormal, which the dual lift guarantees).  ``G_b`` is never
+    materialized: every per-step quantity factors through ``V``, so the
+    O(M) work of a step is a single ``(B, r) @ (r, M)`` matmul for the
+    *whole batch* — the batching win over per-request sampling, which
+    reads an ``(M, p)`` basis three times per step per request.
+
+    ``gram_products`` optionally passes the catalog's ``(M, r(r+1)/2)``
+    symmetric outer-product table (see
+    :meth:`repro.serving.ItemCatalog.gram_products`), which turns the
+    initial row norms ``n_bi = q_bi² v_iᵀ (W_b W_bᵀ) v_i`` into one
+    matmul against precomputed state.
+
+    Each request consumes one uniform per step from its own generator,
+    the same stream the per-request sampler uses, so seeded batch
+    results reproduce per-user :meth:`KDPP.sample` draws.
+    """
+    quality = np.asarray(quality, dtype=np.float64)
+    batch, ground = quality.shape
+    steps = coefficients.shape[2]
+    if coefficients.shape != (batch, diversity_factors.shape[1], steps):
+        raise ValueError(
+            f"coefficients shape {coefficients.shape} does not match "
+            f"(batch={batch}, rank={diversity_factors.shape[1]}, p)"
+        )
+    if len(rngs) != batch:
+        raise ValueError(f"need {batch} generators, got {len(rngs)}")
+    squared_quality = quality**2
+    if gram_products is not None:
+        # n_bi = q_bi² · P[i] · vec(W_b W_bᵀ): one (M, tri) @ (tri, B) matmul.
+        table, (rows, cols) = gram_products
+        projector = np.einsum("brp,bsp->brs", coefficients, coefficients)
+        packed = projector[:, rows, cols]
+        packed[:, rows != cols] *= 2.0
+        norms = np.ascontiguousarray((table @ packed.T).T) * squared_quality
+    else:
+        flat = coefficients.transpose(1, 0, 2).reshape(
+            diversity_factors.shape[1], -1
+        )
+        lifted = (diversity_factors @ flat).reshape(ground, batch, steps)
+        norms = np.ascontiguousarray(
+            np.einsum("mbp,mbp->bm", lifted, lifted)
+        ) * squared_quality
+        del lifted
+
+    def gather_coordinates(items: np.ndarray) -> np.ndarray:
+        rows = diversity_factors[items]  # (B, r)
+        g = np.einsum("brp,br->bp", coefficients, rows)
+        return g * quality[np.arange(batch), items][:, None]
+
+    def apply_direction(c: np.ndarray, norm_stack: np.ndarray) -> None:
+        # w_b = Diag(q_b) V (W_b c_b): one shared (B, r) @ (r, M) matmul.
+        x = np.einsum("brp,bp->br", coefficients, c)
+        w = x @ diversity_factors.T
+        w *= quality
+        w *= w
+        norm_stack -= w
+
+    return _projector_sample_steps(
+        norms, gather_coordinates, apply_direction, rngs, steps
+    )
+
+
+def batched_sample_elementary_stacked(
+    bases: np.ndarray, rngs: Sequence[np.random.Generator]
+) -> list[list[int]]:
+    """Elementary-DPP samples from an explicit ``(B, N, p)`` basis stack.
+
+    The candidate-slice twin of :func:`batched_sample_elementary_shared`:
+    when each request already gathered its own (small) ground set, the
+    orthonormal bases are materialized and every per-step update is one
+    batched ``einsum`` over the stack.  Column orthonormality per request
+    is assumed (the dual lift provides it); RNG-stream semantics match
+    the per-request sampler exactly.
+    """
+    bases = np.asarray(bases, dtype=np.float64)
+    if bases.ndim != 3:
+        raise ValueError(f"expected (B, N, p) bases, got {bases.shape}")
+    batch, _, steps = bases.shape
+    if len(rngs) != batch:
+        raise ValueError(f"need {batch} generators, got {len(rngs)}")
+    norms = np.einsum("bnp,bnp->bn", bases, bases)
+
+    def gather_coordinates(items: np.ndarray) -> np.ndarray:
+        return bases[np.arange(batch), items]
+
+    def apply_direction(c: np.ndarray, norm_stack: np.ndarray) -> None:
+        w = np.einsum("bnp,bp->bn", bases, c)
+        norm_stack -= w**2
+
+    return _projector_sample_steps(
+        norms, gather_coordinates, apply_direction, rngs, steps
+    )
 
 
 def log_kdpp_probability(kernel: Tensor, subset: Sequence[int], k: int) -> Tensor:

@@ -20,7 +20,12 @@ import numpy as np
 
 from .kernels import LowRankKernel
 
-__all__ = ["greedy_map", "greedy_map_reference"]
+__all__ = [
+    "greedy_map",
+    "greedy_map_reference",
+    "batched_greedy_map_shared",
+    "batched_greedy_map_stacked",
+]
 
 
 def greedy_map(
@@ -95,6 +100,116 @@ def greedy_map(
             break
         selected.append(selected_local)
     return [int(candidates[i]) for i in selected]
+
+
+def _batched_greedy_rounds(
+    di2: np.ndarray, compute_row, k: int, epsilon: float
+) -> list[list[int]]:
+    """Shared driver of the batched greedy-MAP variants.
+
+    ``di2`` is the ``(B, N)`` stack of marginal-gain residuals;
+    ``compute_row`` returns, for the per-request last-selected items, the
+    corresponding kernel rows as one batched operation.  Per-request
+    early stopping mirrors :func:`greedy_map` exactly: the first item is
+    always kept, later rounds stop a request once its best remaining
+    gain falls below ``epsilon`` (other requests keep running).
+    """
+    batch, _ = di2.shape
+    rows_index = np.arange(batch)
+    cis = np.zeros((batch, k, di2.shape[1]), dtype=np.float64)
+    lasts = np.argmax(di2, axis=1)
+    selections: list[list[int]] = [[int(lasts[b])] for b in range(batch)]
+    active = np.ones(batch, dtype=bool)
+    for round_index in range(1, k):
+        if not np.any(active):
+            break
+        di_last = np.sqrt(np.maximum(di2[rows_index, lasts], epsilon))
+        row = compute_row(lasts)
+        if round_index == 1:
+            eis = row / di_last[:, None]
+        else:
+            ci_last = cis[rows_index[:, None], np.arange(round_index)[None, :], lasts[:, None]]
+            correction = np.matmul(
+                ci_last[:, None, :], cis[:, :round_index]
+            )[:, 0, :]
+            eis = (row - correction) / di_last[:, None]
+        cis[:, round_index] = eis
+        di2 -= eis**2
+        for b in range(batch):
+            di2[b, selections[b][-1]] = -np.inf
+        lasts = np.argmax(di2, axis=1)
+        gains = di2[rows_index, lasts]
+        active &= gains >= epsilon
+        for b in range(batch):
+            if active[b]:
+                selections[b].append(int(lasts[b]))
+    return selections
+
+
+def batched_greedy_map_shared(
+    diversity_factors: np.ndarray,
+    quality: np.ndarray,
+    k: int,
+    epsilon: float = 1e-10,
+) -> list[list[int]]:
+    """Greedy MAP for a batch of kernels sharing one factor matrix ``V``.
+
+    Request ``b``'s kernel is ``L_b = Diag(q_b) V Vᵀ Diag(q_b)`` (Eq. 2);
+    the stacked factor matrices are never materialized.  Each round's
+    kernel row for every request is one shared ``(M, r) @ (r, B)``
+    matmul — ``L_b[last, :] = q_b ⊙ (V (q_b[last] v_last))`` — so the
+    per-round catalog reads that dominate sequential serving are paid
+    once per batch instead of once per request.  Matches per-request
+    :func:`greedy_map` on a :class:`LowRankKernel` of the same factors,
+    with one caveat: when marginal gains are *exactly* tied (e.g.
+    perfectly uniform quality over a unit-diagonal catalog), the two
+    paths may break the tie differently — each then returns a valid
+    greedy solution, just not the same one.
+    """
+    diversity_factors = np.asarray(diversity_factors, dtype=np.float64)
+    quality = np.asarray(quality, dtype=np.float64)
+    batch, ground = quality.shape
+    if diversity_factors.shape[0] != ground:
+        raise ValueError(
+            f"factors cover {diversity_factors.shape[0]} items but quality "
+            f"has {ground}"
+        )
+    if not 1 <= k <= ground:
+        raise ValueError(f"k must be in [1, {ground}], got {k}")
+    rows_index = np.arange(batch)
+    di2 = quality**2 * (diversity_factors**2).sum(axis=1)[None, :]
+
+    def compute_row(lasts: np.ndarray) -> np.ndarray:
+        scaled = diversity_factors[lasts] * quality[rows_index, lasts][:, None]
+        row = scaled @ diversity_factors.T
+        row *= quality
+        return row
+
+    return _batched_greedy_rounds(di2, compute_row, k, epsilon)
+
+
+def batched_greedy_map_stacked(
+    factor_stack: np.ndarray, k: int, epsilon: float = 1e-10
+) -> list[list[int]]:
+    """Greedy MAP over an explicit ``(B, N, r)`` per-request factor stack.
+
+    The candidate-slice twin of :func:`batched_greedy_map_shared`: each
+    request brings its own (small) gathered ground set and every round is
+    a batched ``einsum`` over the stack.
+    """
+    factor_stack = np.asarray(factor_stack, dtype=np.float64)
+    if factor_stack.ndim != 3:
+        raise ValueError(f"expected (B, N, r) factors, got {factor_stack.shape}")
+    batch, ground, _ = factor_stack.shape
+    if not 1 <= k <= ground:
+        raise ValueError(f"k must be in [1, {ground}], got {k}")
+    di2 = np.einsum("bnr,bnr->bn", factor_stack, factor_stack)
+
+    def compute_row(lasts: np.ndarray) -> np.ndarray:
+        picked = factor_stack[np.arange(batch), lasts]
+        return np.einsum("bnr,br->bn", factor_stack, picked)
+
+    return _batched_greedy_rounds(di2, compute_row, k, epsilon)
 
 
 def greedy_map_reference(kernel: np.ndarray, k: int) -> list[int]:

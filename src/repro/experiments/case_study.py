@@ -86,7 +86,7 @@ def run_case_study(
     probe_items = prepared.split.test[user][:5]
     with_scores = lkp_cell.model.full_scores()[user][probe_items]
     quality = np.exp(np.clip(with_scores, -12, 12))
-    diversity = prepared.diversity_kernel[np.ix_(probe_items, probe_items)]
+    diversity = prepared.diversity_submatrix(probe_items)
     kernel = quality_diversity_kernel_np(quality, diversity) + 1e-6 * np.eye(
         probe_items.shape[0]
     )

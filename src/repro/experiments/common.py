@@ -15,7 +15,7 @@ Every table and figure is expressed as a composition of:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -25,7 +25,12 @@ from ..data import (
     InteractionDataset,
     mine_diversity_pairs,
 )
-from ..dpp import DiversityKernelConfig, DiversityKernelLearner, category_jaccard_kernel
+from ..dpp import (
+    DiversityKernelConfig,
+    DiversityKernelLearner,
+    LowRankKernel,
+    category_jaccard_kernel,
+)
 from ..eval import EvalResult
 from ..losses import (
     BCECriterion,
@@ -145,14 +150,47 @@ SCALES = {"quick": QUICK, "small": SMALL, "full": FULL}
 
 @dataclass
 class PreparedData:
-    """A dataset ready for experiments: split + frozen diversity kernel."""
+    """A dataset ready for experiments: split + frozen diversity kernel.
+
+    The learned Eq. 3 kernel is carried in **factored form**
+    (``diversity_factors``, with ``K = V Vᵀ``) so training and analysis
+    gather r-dimensional rows instead of slicing an M×M matrix; only the
+    closed-form category kernel (``kernel_source="category"``), which
+    is full rank, stays dense in ``diversity_kernel_dense``.
+    """
 
     dataset: InteractionDataset
     split: DatasetSplit
-    diversity_kernel: np.ndarray
     scale: ExperimentScale
+    #: learned low-rank factors V with K = V Vᵀ (None for category mode)
+    diversity_factors: np.ndarray | None = None
+    #: dense kernel for sources with no factored form (category mode);
+    #: also caches the materialized Gram after a `diversity_kernel` call
+    diversity_kernel_dense: np.ndarray | None = None
     #: reference kernel built directly from category overlap (ablations)
     category_kernel: np.ndarray | None = None
+
+    @property
+    def diversity_kernel(self) -> np.ndarray:
+        """The dense M×M kernel, materialized on demand (analysis only)."""
+        if self.diversity_kernel_dense is None:
+            self.diversity_kernel_dense = (
+                self.diversity_factors @ self.diversity_factors.T
+            )
+        return self.diversity_kernel_dense
+
+    def diversity(self) -> LowRankKernel | np.ndarray:
+        """The kernel in its cheapest exact form (factored when possible)."""
+        if self.diversity_factors is not None:
+            return LowRankKernel(self.diversity_factors)
+        return self.diversity_kernel_dense
+
+    def diversity_submatrix(self, items: np.ndarray) -> np.ndarray:
+        """``K`` restricted to ``items`` without materializing all of K."""
+        if self.diversity_factors is not None:
+            rows = self.diversity_factors[np.asarray(items, dtype=np.int64)]
+            return rows @ rows.T
+        return self.diversity_kernel_dense[np.ix_(items, items)]
 
 
 _PREPARED_CACHE: dict[tuple[str, str, str], PreparedData] = {}
@@ -205,14 +243,19 @@ def prepare_dataset(
             ),
         )
         learner.fit(pairs)
-        kernel = learner.kernel()
+        factors, kernel = learner.factors_normalized(), None
     else:
         kernel = category_jaccard_kernel(dataset.item_categories, scale=0.8, floor=0.2)
         diagonal = np.sqrt(np.diagonal(kernel))
         kernel = kernel / np.outer(diagonal, diagonal)
+        factors = None
 
     prepared = PreparedData(
-        dataset=dataset, split=split, diversity_kernel=kernel, scale=scale
+        dataset=dataset,
+        split=split,
+        scale=scale,
+        diversity_factors=factors,
+        diversity_kernel_dense=kernel,
     )
     if use_cache:
         _PREPARED_CACHE[cache_key] = prepared
@@ -271,6 +314,17 @@ def build_criterion(
     n = scale.n if n is None else n
     code_upper = code.upper()
     if code_upper in LKP_VARIANTS:
+        # The criterion gathers factor rows when they exist (the learned
+        # kernel); the dense matrix is reserved for kernels with no
+        # factored form (category mode).
+        if prepared.diversity_factors is not None:
+            return make_lkp_variant(
+                code_upper,
+                diversity_factors=prepared.diversity_factors,
+                k=k,
+                n=n,
+                normalization=normalization,
+            )
         return make_lkp_variant(
             code_upper,
             diversity_kernel=prepared.diversity_kernel,

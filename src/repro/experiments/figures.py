@@ -179,7 +179,7 @@ def fig4_probability_evolution(
     def callback(epoch: int, model) -> None:
         if epoch in snapshot_epochs and epoch not in report.snapshots:
             report.snapshots[epoch] = target_count_probabilities(
-                model, prepared.diversity_kernel, instances
+                model, prepared.diversity(), instances
             )
 
     cell = run_cell(
@@ -248,7 +248,7 @@ def ablation_diverse_vs_monotonous(
         chosen = rng.choice(len(instances), size=num_instances, replace=False)
         instances = [instances[i] for i in chosen]
     report = diverse_vs_monotonous(
-        cell.model, prepared.diversity_kernel, instances, prepared.split
+        cell.model, prepared.diversity(), instances, prepared.split
     )
     text = (
         f"Diversified vs monotonous target subsets ({dataset}, scale={resolved.name}):\n"

@@ -1,0 +1,35 @@
+"""``repro.serving`` — the batched multi-user k-DPP recommendation engine.
+
+The paper's deployment story: one shared item factor matrix ``V`` serves
+every user, because Eq. 2's personalization only rescales rows and
+columns by the user's quality scores.  This package turns that structure
+into a request-level engine:
+
+* :class:`~repro.serving.catalog.ItemCatalog` — versioned snapshot of
+  ``V`` plus the precomputed reusable state (Gram, cached dual spectra,
+  the outer-product table behind one-matmul batched dual builds);
+* :class:`~repro.serving.server.KDPPServer` — serves batches of
+  :class:`~repro.serving.server.Request` objects (per-request ``k``,
+  exclusion sets, ``sample`` / ``map`` / ``topk-rerank`` modes) with one
+  batched dual-kernel build, one stacked ``eigh``, batched Eq. 6
+  normalizers and vectorized sampling / greedy MAP — parity-pinned to
+  the per-user ``KDPP.from_factors`` loop, which survives as
+  ``serve_sequential`` (the benchmark baseline);
+* :class:`~repro.serving.bridge.RecommenderBridge` — plugs any trained
+  :class:`~repro.models.base.Recommender` in as the quality source, with
+  candidate-pool restriction and an LRU response cache.
+"""
+
+from .bridge import RecommenderBridge, quality_from_scores
+from .catalog import ItemCatalog
+from .server import REQUEST_MODES, KDPPServer, Request, Response
+
+__all__ = [
+    "ItemCatalog",
+    "KDPPServer",
+    "Request",
+    "Response",
+    "REQUEST_MODES",
+    "RecommenderBridge",
+    "quality_from_scores",
+]

@@ -1,0 +1,235 @@
+"""Plugging trained recommenders into the serving engine.
+
+Any :class:`~repro.models.base.Recommender` (MF, NeuMF, GCN, GCMC) can
+act as the quality-score source of Eq. 2: its raw scores are mapped to
+positive qualities with the same transform family LkP training uses
+(``exp`` for inner-product models, ``sigmoid`` for classifier heads),
+optionally tempered — at serving time the temperature plays the
+relevance-vs-diversity trade-off role of Chen et al.'s re-ranker
+parameter.
+
+:class:`RecommenderBridge` adds the two request-level conveniences a
+service needs:
+
+* **candidate-pool restriction** — serve each user from their top-N
+  candidate slice of ``V`` instead of the whole catalog (an order of
+  magnitude less per-request work at catalog scale);
+* an **LRU response cache** keyed by ``(user, k, mode, seed, pool,
+  catalog version, score snapshot)`` — deterministic requests (MAP,
+  rerank, seeded samples) are served from memory; unseeded samples are
+  never cached (each call must draw fresh).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+from ..dpp.kernels import SCORE_CLIP
+from ..models.base import Recommender
+from ..utils.topk import top_k_indices
+from .catalog import ItemCatalog
+from .server import KDPPServer, Request, Response
+
+__all__ = ["RecommenderBridge", "quality_from_scores"]
+
+
+def quality_from_scores(
+    scores: np.ndarray,
+    transform: str = "exp",
+    temperature: float = 1.0,
+    floor: float = 1e-4,
+) -> np.ndarray:
+    """Numpy twin of the Eq. 2/13 quality transforms for serving.
+
+    ``exp`` — Eq. 13's ``exp(score / T)`` with the same ±12 clip training
+    applies; ``sigmoid`` — probability-head models (NeuMF, GCMC), floored
+    to keep the kernel strictly PD; ``identity`` — models that already
+    emit positive qualities.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    if transform == "exp":
+        return np.exp(np.clip(scores / temperature, -SCORE_CLIP, SCORE_CLIP))
+    if transform == "sigmoid":
+        return 1.0 / (1.0 + np.exp(-scores / temperature)) + floor
+    if transform == "identity":
+        return np.clip(scores, floor, np.inf)
+    raise ValueError(f"unknown quality transform {transform!r}")
+
+
+class RecommenderBridge:
+    """Serves a trained recommender's users through a :class:`KDPPServer`.
+
+    Parameters
+    ----------
+    model:
+        Trained backbone; its ``quality_transform`` attribute picks the
+        score-to-quality mapping, its ``full_scores()`` supplies the
+        score matrix (snapshotted once; call :meth:`refresh_scores`
+        after further training).
+    catalog / server:
+        The shared factor snapshot and the engine over it (a fresh
+        server is built when one is not passed).
+    known_items:
+        Optional per-user arrays of item ids to exclude (the user's
+        training interactions under the standard protocol).
+    candidate_pool:
+        When set, each request is restricted to the user's top-N items
+        by quality — the candidate-slice serving path.
+    """
+
+    def __init__(
+        self,
+        model: Recommender,
+        catalog: ItemCatalog,
+        server: KDPPServer | None = None,
+        known_items: Sequence[np.ndarray] | None = None,
+        temperature: float = 1.0,
+        candidate_pool: int | None = None,
+        cache_size: int = 256,
+    ) -> None:
+        if catalog.num_items != model.num_items:
+            raise ValueError(
+                f"catalog covers {catalog.num_items} items but the model "
+                f"has {model.num_items}"
+            )
+        if candidate_pool is not None and candidate_pool < 1:
+            raise ValueError(f"candidate_pool must be positive, got {candidate_pool}")
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be non-negative, got {cache_size}")
+        self.model = model
+        self.catalog = catalog
+        self.server = server or KDPPServer(catalog)
+        self.known_items = known_items
+        self.temperature = temperature
+        self.candidate_pool = candidate_pool
+        self.cache_size = cache_size
+        self._cache: OrderedDict[tuple, Response] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._scores: np.ndarray | None = None
+        self._scores_token = 0
+
+    # ------------------------------------------------------------------
+    def scores(self) -> np.ndarray:
+        """The model's score matrix, snapshotted on first use."""
+        if self._scores is None:
+            self._scores = np.asarray(self.model.full_scores(), dtype=np.float64)
+        return self._scores
+
+    def refresh_scores(self) -> None:
+        """Re-snapshot model scores (after training) and drop stale cache."""
+        self._scores = None
+        self._scores_token += 1
+
+    def quality_for_user(self, user: int) -> np.ndarray:
+        transform = getattr(self.model, "quality_transform", "exp")
+        return quality_from_scores(
+            self.scores()[int(user)], transform, temperature=self.temperature
+        )
+
+    def _exclusions(self, user: int) -> np.ndarray | None:
+        if self.known_items is None:
+            return None
+        return np.asarray(self.known_items[int(user)], dtype=np.int64)
+
+    def build_request(
+        self,
+        user: int,
+        k: int,
+        mode: str = "map",
+        seed: int | None = None,
+    ) -> Request:
+        """Assemble one user's :class:`Request` (quality, exclusions, pool)."""
+        quality = self.quality_for_user(user)
+        exclude = self._exclusions(user)
+        candidates = None
+        if self.candidate_pool is not None and mode != "topk-rerank":
+            masked = quality
+            if exclude is not None and len(exclude) > 0:
+                masked = quality.copy()
+                masked[exclude] = 0.0
+            candidates = top_k_indices(masked, max(self.candidate_pool, k))
+        return Request(
+            quality=quality,
+            k=k,
+            mode=mode,
+            exclude=exclude,
+            candidates=candidates,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def _cache_key(self, user: int, k: int, mode: str, seed: int | None):
+        return (
+            int(user),
+            int(k),
+            mode,
+            seed,
+            self.candidate_pool,
+            self.temperature,
+            self.catalog.version,
+            self._scores_token,
+        )
+
+    def recommend(
+        self,
+        users: Sequence[int],
+        k: int,
+        mode: str = "map",
+        seeds: Sequence[int] | None = None,
+    ) -> list[Response]:
+        """Batched recommendations for ``users``, LRU-cached.
+
+        Deterministic requests (``map`` / ``topk-rerank`` always, and
+        ``sample`` when a per-user seed is given) hit the cache; cache
+        keys include the catalog version and score snapshot so a
+        :meth:`ItemCatalog.refresh` or :meth:`refresh_scores`
+        invalidates stale responses without any explicit flush.
+        """
+        if seeds is not None and len(seeds) != len(users):
+            raise ValueError(
+                f"need one seed per user, got {len(seeds)} for {len(users)}"
+            )
+        responses: list[Response | None] = [None] * len(users)
+        pending: list[tuple[int, tuple | None]] = []
+        requests: list[Request] = []
+        for position, user in enumerate(users):
+            seed = None if seeds is None else int(seeds[position])
+            cacheable = mode != "sample" or seed is not None
+            key = self._cache_key(user, k, mode, seed) if cacheable else None
+            if key is not None and key in self._cache:
+                self._cache.move_to_end(key)
+                cached = self._cache[key]
+                responses[position] = Response(
+                    items=list(cached.items),
+                    log_probability=cached.log_probability,
+                    mode=cached.mode,
+                    k=cached.k,
+                    cached=True,
+                )
+                self.cache_hits += 1
+                continue
+            self.cache_misses += 1
+            pending.append((position, key))
+            requests.append(self.build_request(user, k, mode=mode, seed=seed))
+        if requests:
+            served = self.server.serve(requests)
+            for (position, key), response in zip(pending, served):
+                responses[position] = response
+                if key is not None:
+                    # Store a private copy: the caller owns the returned
+                    # Response and may mutate its item list.
+                    self._cache[key] = Response(
+                        items=list(response.items),
+                        log_probability=response.log_probability,
+                        mode=response.mode,
+                        k=response.k,
+                    )
+                    while len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+        return responses  # type: ignore[return-value]

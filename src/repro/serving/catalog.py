@@ -1,0 +1,170 @@
+"""The shared item-factor snapshot behind the serving engine.
+
+Serving a k-DPP recommendation is per-user only in a rank-r reweighting:
+every user's kernel is ``L_u = Diag(q_u) V Vᵀ Diag(q_u)`` (Eq. 2) over
+the *same* item factor matrix ``V``.  :class:`ItemCatalog` snapshots
+that shared state once and precomputes everything requests can reuse:
+
+* the ``r × r`` Gram ``VᵀV`` and its eigendecomposition, cached per
+  catalog **version** (a refresh publishes new factors under a new
+  version, so stale cache entries can never serve fresh requests);
+* the symmetric outer-product table ``P[m] = vec(v_m v_mᵀ)`` (upper
+  triangle), which turns a whole batch of dual kernels
+  ``C_u = Vᵀ Diag(q_u²) V = Σ_m q_um² v_m v_mᵀ`` into a single
+  ``(B, M) @ (M, r(r+1)/2)`` matmul — the serving engine's build path.
+
+Factors are snapshotted (copied, marked read-only) so a catalog version
+is immutable: response caches and spectrum caches key on the version
+token alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dpp.diversity_kernel import DiversityKernelLearner
+
+__all__ = ["ItemCatalog"]
+
+
+class ItemCatalog:
+    """Versioned snapshot of the ``(M, r)`` item factor matrix ``V``."""
+
+    #: spectrum-cache entries kept across refreshes (old versions may
+    #: still be referenced by in-flight readers)
+    SPECTRUM_CACHE_KEEP = 2
+
+    #: refuse to build an outer-product table beyond this size — the
+    #: table is O(M r²/2) and wide factor matrices (e.g. the identity-
+    #: augmented ``shrink > 0`` form, rank r + M) would silently turn
+    #: the fast path into a terabyte allocation
+    GRAM_PRODUCTS_MAX_BYTES = 1 << 31
+
+    def __init__(self, factors: np.ndarray, version: int = 0) -> None:
+        self._spectrum_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._install(factors, version)
+
+    @classmethod
+    def from_learner(
+        cls,
+        learner: DiversityKernelLearner,
+        normalize: str = "correlation",
+        shrink: float = 0.0,
+    ) -> "ItemCatalog":
+        """Snapshot a trained Eq. 3 learner via ``factors_normalized``.
+
+        Keep ``shrink = 0`` for catalog-scale serving: the shrunk form's
+        identity augmentation raises the factor width to ``r + M``, so
+        every dual becomes an ``(r+M) × (r+M)`` problem and
+        :meth:`gram_products` would need O(M³) memory (it refuses, see
+        ``GRAM_PRODUCTS_MAX_BYTES``).  Shrunk factors are meant for the
+        training criterion's small row gathers, not the serving engine.
+        """
+        return cls(learner.factors_normalized(normalize=normalize, shrink=shrink))
+
+    # ------------------------------------------------------------------
+    def _install(self, factors: np.ndarray, version: int) -> None:
+        factors = np.array(factors, dtype=np.float64, copy=True)
+        if factors.ndim != 2:
+            raise ValueError(f"factors must be (M, r), got shape {factors.shape}")
+        if not np.all(np.isfinite(factors)):
+            raise ValueError("factors contain non-finite entries")
+        factors.setflags(write=False)
+        self._factors = factors
+        self._version = version
+        self._gram: np.ndarray | None = None
+        self._gram_products: np.ndarray | None = None
+        self._triu = np.triu_indices(factors.shape[1])
+
+    def refresh(self, factors: np.ndarray) -> int:
+        """Publish new factors under the next version; returns the version.
+
+        Cached Grams and outer-product tables are dropped; the spectrum
+        cache keeps its most recent entries (keyed by old versions) so a
+        reader holding a stale version token misses rather than reads
+        fresh state.
+        """
+        self._install(factors, self._version + 1)
+        while len(self._spectrum_cache) > self.SPECTRUM_CACHE_KEEP:
+            self._spectrum_cache.pop(next(iter(self._spectrum_cache)))
+        return self._version
+
+    # ------------------------------------------------------------------
+    @property
+    def factors(self) -> np.ndarray:
+        """The read-only ``(M, r)`` factor snapshot."""
+        return self._factors
+
+    @property
+    def num_items(self) -> int:
+        return self._factors.shape[0]
+
+    @property
+    def rank(self) -> int:
+        return self._factors.shape[1]
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def gram(self) -> np.ndarray:
+        """``VᵀV`` — the unweighted dual kernel, computed once per version."""
+        if self._gram is None:
+            self._gram = self._factors.T @ self._factors
+        return self._gram
+
+    def dual_spectrum(self) -> tuple[np.ndarray, np.ndarray]:
+        """Eigendecomposition of :meth:`gram`, cached per catalog version.
+
+        This is the exact serving state for uniform-quality requests
+        (``q_u = 1`` makes ``C_u = VᵀV``) and the warm-start diagnostic
+        spectrum for everything else; eigenvalues ascending, clipped at
+        zero like :meth:`LowRankKernel.eigh_dual`.
+        """
+        cached = self._spectrum_cache.get(self._version)
+        if cached is None:
+            eigenvalues, eigenvectors = np.linalg.eigh(self.gram())
+            cached = (np.clip(eigenvalues, 0.0, None), eigenvectors)
+            self._spectrum_cache[self._version] = cached
+        return cached
+
+    def gram_products(self) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+        """The ``(M, r(r+1)/2)`` symmetric outer-product table (lazy).
+
+        ``gram_products()[0][m]`` is the upper triangle of ``v_m v_mᵀ``,
+        so a batch of dual kernels is one matmul:
+        ``C_stack[b][triu] = (q_b²) @ table``.  Costs ``M r²/2 · 8``
+        bytes (≈ 42 MB at M=10k, r=32) — built on the first batched
+        request and reused for the lifetime of the version.
+        """
+        if self._gram_products is None:
+            rows, cols = self._triu
+            table_bytes = self.num_items * rows.shape[0] * 8
+            if table_bytes > self.GRAM_PRODUCTS_MAX_BYTES:
+                raise ValueError(
+                    f"outer-product table would need {table_bytes / 1e9:.1f} GB "
+                    f"(M={self.num_items}, rank={self.rank}); wide factor "
+                    "matrices (e.g. shrink-augmented ones) are not servable "
+                    "on the full-catalog fast path — use candidate slices or "
+                    "compact rank-r factors"
+                )
+            self._gram_products = np.ascontiguousarray(
+                self._factors[:, rows] * self._factors[:, cols]
+            )
+        return self._gram_products, self._triu
+
+    def build_duals(self, squared_quality: np.ndarray) -> np.ndarray:
+        """All dual kernels ``C_b = Vᵀ Diag(q_b²) V`` as one matmul.
+
+        ``squared_quality`` is the ``(B, M)`` stack of ``q_b²``; returns
+        the symmetric ``(B, r, r)`` dual-kernel stack.
+        """
+        squared_quality = np.asarray(squared_quality, dtype=np.float64)
+        table, (rows, cols) = self.gram_products()
+        flat = squared_quality @ table
+        duals = np.empty(
+            (squared_quality.shape[0], self.rank, self.rank), dtype=np.float64
+        )
+        duals[:, rows, cols] = flat
+        duals[:, cols, rows] = flat
+        return duals

@@ -1,0 +1,475 @@
+"""Batched multi-user k-DPP serving.
+
+One :class:`KDPPServer` turns a batch of personalization requests over a
+shared :class:`~repro.serving.catalog.ItemCatalog` into recommendation
+lists.  Per Eq. 2 a request only reweights the shared factors — its
+kernel is ``L_u = Diag(q_u) V Vᵀ Diag(q_u)`` — so the whole batch shares
+every catalog-sized computation:
+
+* all dual kernels ``C_u = Vᵀ Diag(q_u²) V`` are one ``(B, M)``-by-table
+  matmul (:meth:`ItemCatalog.build_duals`);
+* one stacked ``eigh`` factorizes every request's dual;
+* one :func:`~repro.dpp.esp.batched_log_esp` produces every Eq. 6
+  normalizer, heterogeneous ``k`` included;
+* sampling and greedy MAP run vectorized across the batch
+  (:func:`~repro.dpp.kdpp.batched_sample_elementary_shared`,
+  :func:`~repro.dpp.map_inference.batched_greedy_map_shared`), with each
+  request consuming its own seeded RNG stream so a batch reproduces the
+  per-user ``KDPP.from_factors(...).sample(rng)`` loop draw for draw.
+
+Request semantics
+-----------------
+``mode`` is one of:
+
+* ``"sample"`` — an exact k-DPP draw (diversity by randomization);
+* ``"map"`` — greedy MAP over the ground set (deterministic);
+* ``"topk-rerank"`` — restrict to the request's top ``rerank_pool``
+  items by quality, then greedy MAP inside that slice (the classic
+  serving pattern of post-hoc DPP re-rankers).
+
+``exclude`` removes items from the ground set by zeroing their quality:
+a zero factor row can never be selected and contributes nothing to the
+dual kernel, so this is exactly equivalent to deleting the rows — while
+keeping every request in the batch the same shape.  ``candidates``
+restricts a request to an explicit item slice (the
+:class:`~repro.serving.bridge.RecommenderBridge` uses it for
+user-specific top-N candidate pools); results are reported in catalog
+ids either way.
+
+``serve_sequential`` is the PR 2 one-request-at-a-time loop over the
+same request semantics — the parity oracle for the tests and the
+baseline the serving benchmark measures against.  One caveat: greedy
+MAP under *exactly* tied marginal gains (perfectly uniform quality on a
+unit-diagonal catalog) may break ties differently on the two paths —
+each returns a valid greedy solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..dpp.esp import batched_esp_table, batched_log_esp
+from ..dpp.kdpp import (
+    KDPP,
+    batched_sample_elementary_shared,
+    batched_sample_elementary_stacked,
+    kdpp_spectrum_scale,
+    select_eigenvectors_from_esp_table,
+)
+from ..dpp.kernels import LowRankKernel
+from ..dpp.map_inference import (
+    batched_greedy_map_shared,
+    batched_greedy_map_stacked,
+    greedy_map,
+)
+from ..utils.topk import top_k_indices
+from .catalog import ItemCatalog
+
+__all__ = ["Request", "Response", "KDPPServer", "REQUEST_MODES"]
+
+REQUEST_MODES = ("sample", "map", "topk-rerank")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One user's recommendation request against the shared catalog.
+
+    ``quality`` is the catalog-sized vector of positive per-item quality
+    scores ``q_u`` (Eq. 2 / Eq. 13) — typically produced by a trained
+    :class:`~repro.models.base.Recommender` through the
+    :class:`~repro.serving.bridge.RecommenderBridge`.
+    """
+
+    quality: np.ndarray
+    k: int
+    mode: str = "sample"
+    exclude: np.ndarray | None = None
+    candidates: np.ndarray | None = None
+    seed: int | None = None
+    rerank_pool: int | None = None
+
+
+@dataclass
+class Response:
+    """Result of one request: selected items (catalog ids, list order =
+    selection order) and the set's k-DPP log-probability under the
+    request's personalized kernel (``None`` when greedy MAP stopped
+    early with fewer than k items)."""
+
+    items: list[int]
+    log_probability: float | None
+    mode: str
+    k: int
+    cached: bool = False
+
+
+@dataclass
+class _Resolved:
+    """A validated request: zero-quality exclusions applied, topk-rerank
+    lowered to MAP over an explicit candidate slice."""
+
+    index: int
+    quality: np.ndarray  # catalog-sized effective quality
+    k: int
+    mode: str  # "sample" | "map" after lowering
+    report_mode: str  # the caller's mode, echoed in the Response
+    candidates: np.ndarray | None
+    seed: int | None
+
+
+class KDPPServer:
+    """Batched k-DPP recommendation engine over one :class:`ItemCatalog`."""
+
+    def __init__(self, catalog: ItemCatalog, rerank_pool: int = 100) -> None:
+        if rerank_pool < 1:
+            raise ValueError(f"rerank_pool must be positive, got {rerank_pool}")
+        self.catalog = catalog
+        self.rerank_pool = rerank_pool
+        self._rng = np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # Request resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, request: Request, index: int) -> _Resolved:
+        num_items = self.catalog.num_items
+        quality = np.asarray(request.quality, dtype=np.float64)
+        if quality.shape != (num_items,):
+            raise ValueError(
+                f"request {index}: quality shape {quality.shape} does not "
+                f"match catalog size {num_items}"
+            )
+        if not np.all(np.isfinite(quality)) or np.any(quality < 0):
+            raise ValueError(
+                f"request {index}: quality must be finite and non-negative"
+            )
+        if request.mode not in REQUEST_MODES:
+            raise ValueError(
+                f"request {index}: mode must be one of {REQUEST_MODES}, "
+                f"got {request.mode!r}"
+            )
+        if request.k < 1:
+            raise ValueError(f"request {index}: k must be positive, got {request.k}")
+        if request.exclude is not None and len(request.exclude) > 0:
+            exclude = np.asarray(request.exclude, dtype=np.int64)
+            if np.any(exclude < 0) or np.any(exclude >= num_items):
+                raise ValueError(
+                    f"request {index}: exclusion ids must be in [0, {num_items})"
+                )
+            quality = quality.copy()
+            quality[exclude] = 0.0
+        if request.rerank_pool is not None and request.rerank_pool < 1:
+            raise ValueError(
+                f"request {index}: rerank_pool must be positive, got "
+                f"{request.rerank_pool}"
+            )
+        candidates = request.candidates
+        mode = request.mode
+        if mode == "topk-rerank":
+            if candidates is not None:
+                raise ValueError(
+                    f"request {index}: topk-rerank builds its own candidate "
+                    "pool; pass mode='map' to rerank an explicit slice"
+                )
+            pool = (
+                self.rerank_pool if request.rerank_pool is None else request.rerank_pool
+            )
+            candidates = top_k_indices(quality, max(pool, request.k))
+            mode = "map"
+        elif candidates is not None:
+            candidates = np.asarray(candidates, dtype=np.int64)
+            if candidates.ndim != 1 or len(set(candidates.tolist())) != len(candidates):
+                raise ValueError(
+                    f"request {index}: candidates must be unique item ids"
+                )
+            if np.any(candidates < 0) or np.any(candidates >= num_items):
+                raise ValueError(
+                    f"request {index}: candidate ids must be in [0, {num_items})"
+                )
+        ground = num_items if candidates is None else candidates.shape[0]
+        if request.k > ground:
+            raise ValueError(
+                f"request {index}: k={request.k} exceeds ground-set size {ground}"
+            )
+        return _Resolved(
+            index=index,
+            quality=quality,
+            k=int(request.k),
+            mode=mode,
+            report_mode=request.mode,
+            candidates=candidates,
+            seed=request.seed,
+        )
+
+    def _request_rng(self, resolved: _Resolved) -> np.random.Generator:
+        if resolved.seed is None:
+            return self._rng
+        return np.random.default_rng(resolved.seed)
+
+    # ------------------------------------------------------------------
+    # Batched serving
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[Request]) -> list[Response]:
+        """Serve a batch of requests with shared catalog-scale work."""
+        resolved = [self._resolve(request, i) for i, request in enumerate(requests)]
+        responses: list[Response | None] = [None] * len(resolved)
+        groups: dict[tuple, list[_Resolved]] = {}
+        for item in resolved:
+            ground = (
+                self.catalog.num_items
+                if item.candidates is None
+                else item.candidates.shape[0]
+            )
+            key = (item.candidates is None, ground, item.k, item.mode)
+            groups.setdefault(key, []).append(item)
+        for (is_full, _, k, mode), members in groups.items():
+            if is_full:
+                self._serve_full_group(members, k, mode, responses)
+            else:
+                self._serve_sliced_group(members, k, mode, responses)
+        return responses  # type: ignore[return-value]
+
+    def _log_normalizers(
+        self, eigenvalues: np.ndarray, members, k: int, mode: str
+    ) -> np.ndarray:
+        """Batched Eq. 6 normalizers, mirroring ``KDPP.from_factors``.
+
+        Sample mode enforces the k-DPP's rank requirement with the same
+        ``ValueError`` the per-request constructor raises; MAP mode
+        tolerates deficient spectra (the greedy selection simply stops
+        early, exactly like the sequential loop) and reports ``-inf``.
+        """
+        if k <= eigenvalues.shape[1]:
+            log_normalizers = batched_log_esp(eigenvalues, k)
+        else:
+            log_normalizers = np.full(len(members), -np.inf)
+        if mode == "sample" and not np.all(np.isfinite(log_normalizers)):
+            bad = members[int(np.flatnonzero(~np.isfinite(log_normalizers))[0])]
+            raise ValueError(
+                f"request {bad.index}: factor rank is below k={k} (e_k of "
+                "the dual spectrum is 0); a k-DPP needs at least k nonzero "
+                "eigenvalues"
+            )
+        return log_normalizers
+
+    def _phase1_coefficients(
+        self,
+        eigenvalues: np.ndarray,
+        dual_vectors: np.ndarray,
+        k: int,
+        rngs: list[np.random.Generator],
+    ) -> np.ndarray:
+        """Batched phase 1: pick k dual eigenvectors per request and
+        assemble the ``(B, r, k)`` lift coefficient stack
+        ``W_b = Ĉ_b[:, chosen] / sqrt(λ_chosen)``.
+
+        The ESP tables for every request are built in one vectorized
+        recursion; the backward walks consume each request's own RNG
+        stream, matching the per-user sampler exactly.
+        """
+        batch = eigenvalues.shape[0]
+        scales = np.array(
+            [kdpp_spectrum_scale(eigenvalues[b], k) for b in range(batch)]
+        )
+        scaled = eigenvalues / scales[:, None]
+        tables = batched_esp_table(scaled, k)
+        chosen = np.array(
+            [
+                select_eigenvectors_from_esp_table(scaled[b], tables[b], k, rngs[b])
+                for b in range(batch)
+            ],
+            dtype=np.int64,
+        )
+        selected = np.take_along_axis(eigenvalues, chosen, axis=1)
+        if np.any(selected <= 0):  # pragma: no cover - unreachable: zero
+            # eigenvalues have zero inclusion probability in the walk
+            raise RuntimeError("phase 1 selected a zero eigenvalue")
+        coefficients = np.take_along_axis(dual_vectors, chosen[:, None, :], axis=2)
+        return coefficients / np.sqrt(selected)[:, None, :]
+
+    def _group_spectra(self, quality: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Dual spectra for a full-catalog request group.
+
+        Constant-quality requests (``q_u = c``) are served straight from
+        the catalog's version-cached spectrum — ``C_u = c² VᵀV``, so the
+        cached eigenvectors apply verbatim and the eigenvalues only
+        rescale.  Everything else goes through the batched dual build
+        (one matmul against the outer-product table) and one stacked
+        ``eigh`` over the non-uniform rows.
+        """
+        batch, _ = quality.shape
+        rank = self.catalog.rank
+        uniform_scale = np.full(batch, -1.0)
+        for b in range(batch):
+            first = quality[b, 0]
+            if first > 0 and np.all(quality[b] == first):
+                uniform_scale[b] = first
+        eigenvalues = np.empty((batch, rank))
+        dual_vectors = np.empty((batch, rank, rank))
+        uniform = uniform_scale > 0
+        if np.any(uniform):
+            cached_values, cached_vectors = self.catalog.dual_spectrum()
+            scales = uniform_scale[uniform]
+            eigenvalues[uniform] = scales[:, None] ** 2 * cached_values
+            dual_vectors[uniform] = cached_vectors
+        general = ~uniform
+        if np.any(general):
+            duals = self.catalog.build_duals(quality[general] ** 2)
+            values, vectors = np.linalg.eigh(duals)
+            eigenvalues[general] = np.clip(values, 0.0, None)
+            dual_vectors[general] = vectors
+        return eigenvalues, dual_vectors
+
+    def _group_log_probabilities(
+        self,
+        factor_rows: np.ndarray,
+        log_normalizers: np.ndarray,
+    ) -> np.ndarray:
+        """``log P_k(S_b) = log det(L_{S_b}) - log Z_k`` for a ``(B, k, r)``
+        stack of selected factor rows, via one stacked ``slogdet``."""
+        grams = np.matmul(factor_rows, np.swapaxes(factor_rows, 1, 2))
+        signs, logdets = np.linalg.slogdet(grams)
+        logdets = np.where(signs > 0, logdets, -np.inf)
+        return logdets - log_normalizers
+
+    def _serve_full_group(
+        self, members: list[_Resolved], k: int, mode: str, responses: list
+    ) -> None:
+        factors = self.catalog.factors
+        quality = np.stack([member.quality for member in members])
+        eigenvalues, dual_vectors = self._group_spectra(quality)
+        log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
+        if mode == "sample":
+            rngs = [self._request_rng(member) for member in members]
+            coefficients = self._phase1_coefficients(
+                eigenvalues, dual_vectors, k, rngs
+            )
+            samples = batched_sample_elementary_shared(
+                factors,
+                quality,
+                coefficients,
+                rngs,
+                gram_products=self.catalog.gram_products(),
+            )
+        else:
+            samples = batched_greedy_map_shared(factors, quality, k)
+        self._emit(members, samples, log_normalizers, quality, None, k, responses)
+
+    def _serve_sliced_group(
+        self, members: list[_Resolved], k: int, mode: str, responses: list
+    ) -> None:
+        factors = self.catalog.factors
+        candidates = np.stack([member.candidates for member in members])
+        local_quality = np.stack(
+            [member.quality[member.candidates] for member in members]
+        )
+        stack = local_quality[:, :, None] * factors[candidates]
+        duals = np.matmul(np.swapaxes(stack, 1, 2), stack)
+        eigenvalues, dual_vectors = np.linalg.eigh(duals)
+        eigenvalues = np.clip(eigenvalues, 0.0, None)
+        log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
+        if mode == "sample":
+            rngs = [self._request_rng(member) for member in members]
+            coefficients = self._phase1_coefficients(
+                eigenvalues, dual_vectors, k, rngs
+            )
+            bases = np.matmul(stack, coefficients)
+            samples = batched_sample_elementary_stacked(bases, rngs)
+        else:
+            samples = batched_greedy_map_stacked(stack, k)
+        self._emit(members, samples, log_normalizers, None, stack, k, responses)
+
+    def _emit(
+        self,
+        members: list[_Resolved],
+        samples: list[list[int]],
+        log_normalizers: np.ndarray,
+        quality: np.ndarray | None,
+        stack: np.ndarray | None,
+        k: int,
+        responses: list,
+    ) -> None:
+        """Attach log-probabilities and map local picks to catalog ids."""
+        factors = self.catalog.factors
+        complete = [
+            b
+            for b, sample in enumerate(samples)
+            if len(sample) == k and np.isfinite(log_normalizers[b])
+        ]
+        log_probabilities: dict[int, float] = {}
+        if complete:
+            if stack is None:
+                picks = np.array([samples[b] for b in complete], dtype=np.int64)
+                rows = factors[picks] * quality[complete][
+                    np.arange(len(complete))[:, None], picks
+                ][:, :, None]
+            else:
+                picks = np.array([samples[b] for b in complete], dtype=np.int64)
+                rows = stack[
+                    np.asarray(complete)[:, None], picks
+                ]
+            values = self._group_log_probabilities(rows, log_normalizers[complete])
+            log_probabilities = dict(zip(complete, values))
+        for b, member in enumerate(members):
+            local = samples[b]
+            if member.candidates is None:
+                items = [int(i) for i in local]
+            else:
+                items = [int(member.candidates[i]) for i in local]
+            value = log_probabilities.get(b)
+            responses[member.index] = Response(
+                items=items,
+                log_probability=None if value is None else float(value),
+                mode=member.report_mode,
+                k=member.k,
+            )
+
+    # ------------------------------------------------------------------
+    # Sequential reference (the PR 2 loop)
+    # ------------------------------------------------------------------
+    def serve_sequential(self, requests: Sequence[Request]) -> list[Response]:
+        """One ``KDPP.from_factors`` / ``greedy_map`` per request.
+
+        This is exactly the serving loop PR 2 made fast for a *single*
+        request — rebuild the low-rank kernel, eigendecompose its dual,
+        sample or rerank — repeated per request with no shared work.  It
+        is both the benchmark baseline and the parity oracle: for seeded
+        requests, :meth:`serve` must return identical items.
+        """
+        responses: list[Response] = []
+        for i, request in enumerate(requests):
+            member = self._resolve(request, i)
+            if member.candidates is None:
+                factors = member.quality[:, None] * self.catalog.factors
+            else:
+                factors = (
+                    member.quality[member.candidates][:, None]
+                    * self.catalog.factors[member.candidates]
+                )
+            lowrank = LowRankKernel(factors)
+            if member.mode == "sample":
+                dpp = KDPP.from_factors(lowrank, member.k)
+                local = dpp.sample(self._request_rng(member))
+                log_probability = dpp.log_subset_probability(local)
+            else:
+                local = greedy_map(lowrank, member.k)
+                if len(local) == member.k:
+                    dpp = KDPP.from_factors(lowrank, member.k)
+                    log_probability = dpp.log_subset_probability(local)
+                else:
+                    log_probability = None
+            if member.candidates is None:
+                items = [int(item) for item in local]
+            else:
+                items = [int(member.candidates[item]) for item in local]
+            responses.append(
+                Response(
+                    items=items,
+                    log_probability=log_probability,
+                    mode=member.report_mode,
+                    k=member.k,
+                )
+            )
+        return responses

@@ -1,7 +1,7 @@
 """Shared utilities: deterministic RNG handling, top-k selection, timing."""
 
 from .rng import ensure_rng, seeded_children, spawn
-from .timing import Stopwatch, timed
+from .timing import Stopwatch, latency_percentiles, timed
 from .topk import rank_of_items, top_k_indices
 
 __all__ = [
@@ -12,4 +12,5 @@ __all__ = [
     "rank_of_items",
     "Stopwatch",
     "timed",
+    "latency_percentiles",
 ]

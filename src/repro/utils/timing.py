@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from typing import Iterable, Sequence
 
-__all__ = ["Stopwatch", "timed"]
+__all__ = ["Stopwatch", "timed", "latency_percentiles"]
 
 
 class Stopwatch:
@@ -38,3 +39,30 @@ def timed():
     finally:
         if watch._started is not None:
             watch.stop()
+
+
+def latency_percentiles(
+    samples: Iterable[float], percentiles: Sequence[float] = (50.0, 99.0)
+) -> dict[str, float]:
+    """Latency percentiles of a sample list, keyed like ``"p50"``.
+
+    Linear interpolation between order statistics (the common
+    load-testing convention), without a numpy dependency so the helper
+    stays usable from any harness script.  Fractional percentile labels
+    keep their digits (``p99.9``).
+    """
+    values = sorted(float(s) for s in samples)
+    if not values:
+        raise ValueError("need at least one latency sample")
+    out: dict[str, float] = {}
+    for percentile in percentiles:
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+        position = (len(values) - 1) * percentile / 100.0
+        low = int(position)
+        high = min(low + 1, len(values) - 1)
+        fraction = position - low
+        value = values[low] * (1.0 - fraction) + values[high] * fraction
+        label = f"{percentile:g}"
+        out[f"p{label}"] = value
+    return out

@@ -80,6 +80,54 @@ def test_kernel_shrink_scales_offdiagonals():
         learner.kernel(shrink=1.0)
 
 
+def test_factors_normalized_shrink_matches_dense_shrunk_kernel():
+    n_items, _, pairs = _toy_category_pairs(count=30)
+    learner = DiversityKernelLearner(
+        n_items, DiversityKernelConfig(rank=8, epochs=3, seed=4)
+    )
+    learner.fit(pairs)
+    for normalize in ("correlation", "none"):
+        for shrink in (0.25, 0.6):
+            factors = learner.factors_normalized(normalize=normalize, shrink=shrink)
+            # Identity augmentation: √shrink-scaled diagonal columns.
+            assert factors.shape == (n_items, 8 + n_items)
+            np.testing.assert_allclose(
+                factors @ factors.T,
+                learner.kernel(normalize=normalize, shrink=shrink),
+                atol=1e-10,
+            )
+    # Shrink 0 keeps the compact rank-r form.
+    assert learner.factors_normalized(shrink=0.0).shape == (n_items, 8)
+    with pytest.raises(ValueError):
+        learner.factors_normalized(shrink=1.0)
+    with pytest.raises(ValueError):
+        learner.factors_normalized(shrink=-0.1)
+
+
+def test_shrunk_factors_open_the_low_rank_path():
+    # The augmented factors make shrunk kernels full rank, so subset
+    # sizes beyond the learned rank get positive determinants on the
+    # factored path — previously dense-only territory.
+    from repro.dpp import KDPP
+
+    n_items, _, pairs = _toy_category_pairs(count=20)
+    learner = DiversityKernelLearner(
+        n_items, DiversityKernelConfig(rank=4, epochs=2, seed=6)
+    )
+    learner.fit(pairs)
+    factors = learner.factors_normalized(shrink=0.3)
+    k = 6  # > rank 4: impossible without the identity augmentation
+    dual = KDPP.from_factors(factors, k)
+    dense = KDPP(learner.kernel(shrink=0.3), k, validate=False)
+    assert np.isclose(dual.log_normalizer, dense.log_normalizer, rtol=1e-8)
+    subset = list(range(k))
+    assert np.isclose(
+        dual.log_subset_probability(subset),
+        dense.log_subset_probability(subset),
+        rtol=1e-8,
+    )
+
+
 def test_submatrix_matches_full_kernel():
     n_items, _, pairs = _toy_category_pairs(count=30)
     learner = DiversityKernelLearner(

@@ -66,15 +66,34 @@ def test_prepare_dataset_caches(prepared):
 
 
 def test_prepared_kernel_properties(prepared):
+    # The learned kernel is carried in factored form; the dense Gram is
+    # materialized only on demand (and then cached).
+    factors = prepared.diversity_factors
+    assert factors is not None
+    assert factors.shape[0] == prepared.dataset.num_items
+    assert prepared.diversity_kernel_dense is None
     kernel = prepared.diversity_kernel
+    assert prepared.diversity_kernel_dense is kernel
     assert kernel.shape == (prepared.dataset.num_items, prepared.dataset.num_items)
+    assert np.allclose(kernel, factors @ factors.T)
     assert np.allclose(np.diagonal(kernel), 1.0)
     assert np.allclose(kernel, kernel.T)
+    items = np.array([0, 2, 5])
+    assert np.allclose(
+        prepared.diversity_submatrix(items), kernel[np.ix_(items, items)]
+    )
 
 
 def test_prepare_dataset_category_kernel_source():
     prepared = prepare_dataset("ml-like", TINY, kernel_source="category", use_cache=False)
+    # No factored form exists for the full-rank category kernel.
+    assert prepared.diversity_factors is None
     assert np.allclose(np.diagonal(prepared.diversity_kernel), 1.0)
+    items = np.array([1, 3])
+    assert np.allclose(
+        prepared.diversity_submatrix(items),
+        prepared.diversity_kernel[np.ix_(items, items)],
+    )
 
 
 def test_build_model_kinds(prepared):

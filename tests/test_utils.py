@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.utils import (
     Stopwatch,
     ensure_rng,
+    latency_percentiles,
     rank_of_items,
     seeded_children,
     spawn,
@@ -97,3 +98,22 @@ def test_timed_context():
     with timed() as t:
         time.sleep(0.01)
     assert t.elapsed >= 0.01
+
+
+def test_latency_percentiles_interpolates():
+    samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+    out = latency_percentiles(samples, (0, 50, 99, 100))
+    assert out["p0"] == 1.0 and out["p100"] == 5.0
+    assert out["p50"] == 3.0
+    assert np.isclose(out["p99"], 4.96)
+    # order-independent
+    assert latency_percentiles(samples[::-1], (50,)) == {"p50": 3.0}
+
+
+def test_latency_percentiles_validation():
+    with pytest.raises(ValueError):
+        latency_percentiles([])
+    with pytest.raises(ValueError):
+        latency_percentiles([1.0], (101,))
+    assert latency_percentiles([7.0])["p99"] == 7.0
+    assert "p99.9" in latency_percentiles([1.0, 2.0], (99.9,))

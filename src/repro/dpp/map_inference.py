@@ -103,20 +103,38 @@ def greedy_map(
 
 
 def _batched_greedy_rounds(
-    di2: np.ndarray, compute_row, k: int, epsilon: float
+    di2: np.ndarray, row_factor, project, rank: int, k: int, epsilon: float
 ) -> list[list[int]]:
-    """Shared driver of the batched greedy-MAP variants.
+    """Shared driver of the batched greedy-MAP variants, in factor space.
 
-    ``di2`` is the ``(B, N)`` stack of marginal-gain residuals;
-    ``compute_row`` returns, for the per-request last-selected items, the
-    corresponding kernel rows as one batched operation.  Per-request
-    early stopping mirrors :func:`greedy_map` exactly: the first item is
-    always kept, later rounds stop a request once its best remaining
-    gain falls below ``epsilon`` (other requests keep running).
+    ``di2`` is the ``(B, N)`` stack of marginal-gain residuals.  All
+    kernels here are low-rank — item ``i`` of request ``b`` is a factor
+    row ``b_i ∈ R^r`` — so instead of storing every request's partial
+    Cholesky rows (a ``(B, k, N)`` history whose per-round correction
+    matmul rereads the whole prefix, O(B·k²·N) traffic over a full run),
+    the driver maintains the orthonormal directions ``u_1..u_j ∈ R^r``
+    spanning the selected rows.  The classic update
+
+        ``e_i = (L[last, i] - Σ_j c_last,j c_i,j) / d_last``
+
+    collapses exactly to ``e_i = ⟨b_i, u_new⟩`` with
+    ``u_new = (b_last - Σ_j ⟨b_last, u_j⟩ u_j) / d_last``: the
+    correction becomes an O(B·k·r) Gram–Schmidt step on the tiny
+    coefficient state, and the only O(N) work per round is the single
+    ``project`` matmul — the same shape the batched sampler pays per
+    step.
+
+    ``row_factor(lasts)`` returns the ``(B, r)`` factor rows of the
+    per-request last-selected items; ``project(u)`` returns the
+    ``(B, N)`` inner products of every item's factor row with each
+    request's new direction.  Per-request early stopping mirrors
+    :func:`greedy_map` exactly: the first item is always kept, later
+    rounds stop a request once its best remaining gain falls below
+    ``epsilon`` (other requests keep running).
     """
     batch, _ = di2.shape
     rows_index = np.arange(batch)
-    cis = np.zeros((batch, k, di2.shape[1]), dtype=np.float64)
+    ortho = np.zeros((batch, max(k - 1, 1), rank), dtype=np.float64)
     lasts = np.argmax(di2, axis=1)
     selections: list[list[int]] = [[int(lasts[b])] for b in range(batch)]
     active = np.ones(batch, dtype=bool)
@@ -124,16 +142,14 @@ def _batched_greedy_rounds(
         if not np.any(active):
             break
         di_last = np.sqrt(np.maximum(di2[rows_index, lasts], epsilon))
-        row = compute_row(lasts)
-        if round_index == 1:
-            eis = row / di_last[:, None]
-        else:
-            ci_last = cis[rows_index[:, None], np.arange(round_index)[None, :], lasts[:, None]]
-            correction = np.matmul(
-                ci_last[:, None, :], cis[:, :round_index]
-            )[:, 0, :]
-            eis = (row - correction) / di_last[:, None]
-        cis[:, round_index] = eis
+        residual = row_factor(lasts)
+        if round_index > 1:
+            previous = ortho[:, : round_index - 1]
+            overlaps = np.einsum("bjr,br->bj", previous, residual)
+            residual = residual - np.einsum("bj,bjr->br", overlaps, previous)
+        direction = residual / di_last[:, None]
+        ortho[:, round_index - 1] = direction
+        eis = project(direction)
         di2 -= eis**2
         for b in range(batch):
             di2[b, selections[b][-1]] = -np.inf
@@ -156,10 +172,13 @@ def batched_greedy_map_shared(
 
     Request ``b``'s kernel is ``L_b = Diag(q_b) V Vᵀ Diag(q_b)`` (Eq. 2);
     the stacked factor matrices are never materialized.  Each round's
-    kernel row for every request is one shared ``(M, r) @ (r, B)``
-    matmul — ``L_b[last, :] = q_b ⊙ (V (q_b[last] v_last))`` — so the
-    per-round catalog reads that dominate sequential serving are paid
-    once per batch instead of once per request.  Matches per-request
+    only catalog-sized work is one shared ``(B, r) @ (r, M)`` matmul
+    projecting every item onto the round's new Cholesky direction
+    (``e_bi = q_bi ⟨v_i, u_b⟩``, see :func:`_batched_greedy_rounds`) —
+    the per-round catalog reads that dominate sequential serving are
+    paid once per batch instead of once per request, and the former
+    ``(B, k, M)`` correction history is fused into an O(B·k·r)
+    coefficient update.  Matches per-request
     :func:`greedy_map` on a :class:`LowRankKernel` of the same factors,
     with one caveat: when marginal gains are *exactly* tied (e.g.
     perfectly uniform quality over a unit-diagonal catalog), the two
@@ -179,13 +198,17 @@ def batched_greedy_map_shared(
     rows_index = np.arange(batch)
     di2 = quality**2 * (diversity_factors**2).sum(axis=1)[None, :]
 
-    def compute_row(lasts: np.ndarray) -> np.ndarray:
-        scaled = diversity_factors[lasts] * quality[rows_index, lasts][:, None]
-        row = scaled @ diversity_factors.T
-        row *= quality
-        return row
+    def row_factor(lasts: np.ndarray) -> np.ndarray:
+        return diversity_factors[lasts] * quality[rows_index, lasts][:, None]
 
-    return _batched_greedy_rounds(di2, compute_row, k, epsilon)
+    def project(direction: np.ndarray) -> np.ndarray:
+        eis = direction @ diversity_factors.T
+        eis *= quality
+        return eis
+
+    return _batched_greedy_rounds(
+        di2, row_factor, project, diversity_factors.shape[1], k, epsilon
+    )
 
 
 def batched_greedy_map_stacked(
@@ -205,11 +228,15 @@ def batched_greedy_map_stacked(
         raise ValueError(f"k must be in [1, {ground}], got {k}")
     di2 = np.einsum("bnr,bnr->bn", factor_stack, factor_stack)
 
-    def compute_row(lasts: np.ndarray) -> np.ndarray:
-        picked = factor_stack[np.arange(batch), lasts]
-        return np.einsum("bnr,br->bn", factor_stack, picked)
+    def row_factor(lasts: np.ndarray) -> np.ndarray:
+        return factor_stack[np.arange(batch), lasts]
 
-    return _batched_greedy_rounds(di2, compute_row, k, epsilon)
+    def project(direction: np.ndarray) -> np.ndarray:
+        return np.einsum("bnr,br->bn", factor_stack, direction)
+
+    return _batched_greedy_rounds(
+        di2, row_factor, project, factor_stack.shape[2], k, epsilon
+    )
 
 
 def greedy_map_reference(kernel: np.ndarray, k: int) -> list[int]:

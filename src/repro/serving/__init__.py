@@ -1,13 +1,14 @@
-"""``repro.serving`` — the batched multi-user k-DPP recommendation engine.
+"""``repro.serving`` — the online multi-user k-DPP serving stack.
 
 The paper's deployment story: one shared item factor matrix ``V`` serves
 every user, because Eq. 2's personalization only rescales rows and
 columns by the user's quality scores.  This package turns that structure
-into a request-level engine:
+into a full serving runtime:
 
-* :class:`~repro.serving.catalog.ItemCatalog` — versioned snapshot of
-  ``V`` plus the precomputed reusable state (Gram, cached dual spectra,
-  the outer-product table behind one-matmul batched dual builds);
+* :class:`~repro.serving.catalog.ItemCatalog` — publisher of immutable
+  :class:`~repro.serving.catalog.CatalogSnapshot` factor versions
+  (Gram, once-per-version dual spectra, the outer-product table behind
+  one-matmul batched dual builds), hot-swapped double-buffered;
 * :class:`~repro.serving.server.KDPPServer` — serves batches of
   :class:`~repro.serving.server.Request` objects (per-request ``k``,
   exclusion sets, ``sample`` / ``map`` / ``topk-rerank`` modes) with one
@@ -15,21 +16,40 @@ into a request-level engine:
   normalizers and vectorized sampling / greedy MAP — parity-pinned to
   the per-user ``KDPP.from_factors`` loop, which survives as
   ``serve_sequential`` (the benchmark baseline);
+* :class:`~repro.serving.sharding.ShardedCatalog` /
+  :class:`~repro.serving.sharding.ShardedKDPPServer` — catalogs ≥10⁵
+  items, partitioned on the item axis and served by a per-shard quality
+  top-k funnel into one exact k-DPP over the merged candidate pool;
+* :class:`~repro.serving.scheduler.MicroBatcher` — async admission:
+  single ``submit()`` calls coalesce into engine batches under size and
+  time windows on worker threads, returning futures;
+* :class:`~repro.serving.runtime.ServingRuntime` — the facade wiring
+  admission-time snapshot pinning, micro-batching and live snapshot
+  publication together (version-stamped responses);
 * :class:`~repro.serving.bridge.RecommenderBridge` — plugs any trained
   :class:`~repro.models.base.Recommender` in as the quality source, with
-  candidate-pool restriction and an LRU response cache.
+  candidate-pool restriction and a thread-safe LRU response cache.
 """
 
 from .bridge import RecommenderBridge, quality_from_scores
-from .catalog import ItemCatalog
+from .catalog import CatalogSnapshot, ItemCatalog
+from .runtime import ServingRuntime
+from .scheduler import MicroBatcher
 from .server import REQUEST_MODES, KDPPServer, Request, Response
+from .sharding import ShardedCatalog, ShardedKDPPServer, ShardedSnapshot
 
 __all__ = [
+    "CatalogSnapshot",
     "ItemCatalog",
     "KDPPServer",
     "Request",
     "Response",
     "REQUEST_MODES",
+    "MicroBatcher",
+    "ServingRuntime",
+    "ShardedCatalog",
+    "ShardedKDPPServer",
+    "ShardedSnapshot",
     "RecommenderBridge",
     "quality_from_scores",
 ]

@@ -22,6 +22,7 @@ service needs:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Sequence
 
@@ -32,6 +33,7 @@ from ..models.base import Recommender
 from ..utils.topk import top_k_indices
 from .catalog import ItemCatalog
 from .server import KDPPServer, Request, Response
+from .sharding import ShardedCatalog, ShardedKDPPServer
 
 __all__ = ["RecommenderBridge", "quality_from_scores"]
 
@@ -85,7 +87,7 @@ class RecommenderBridge:
     def __init__(
         self,
         model: Recommender,
-        catalog: ItemCatalog,
+        catalog: ItemCatalog | ShardedCatalog,
         server: KDPPServer | None = None,
         known_items: Sequence[np.ndarray] | None = None,
         temperature: float = 1.0,
@@ -103,34 +105,63 @@ class RecommenderBridge:
             raise ValueError(f"cache_size must be non-negative, got {cache_size}")
         self.model = model
         self.catalog = catalog
-        self.server = server or KDPPServer(catalog)
+        if server is None:
+            # Mirror ServingRuntime's dispatch: a sharded catalog needs
+            # the funnel server (the plain engine cannot read it).
+            if isinstance(catalog, ShardedCatalog):
+                server = ShardedKDPPServer(catalog)
+            else:
+                server = KDPPServer(catalog)
+        self.server = server
         self.known_items = known_items
         self.temperature = temperature
         self.candidate_pool = candidate_pool
         self.cache_size = cache_size
         self._cache: OrderedDict[tuple, Response] = OrderedDict()
+        # The micro-batch runtime calls ``recommend`` from worker
+        # threads; OrderedDict move_to_end/popitem are not atomic with
+        # their surrounding get/put logic, so all cache state (entries
+        # and hit/miss counters) is guarded by one lock.  Serving itself
+        # happens outside the lock.
+        self._cache_lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
         self._scores: np.ndarray | None = None
         self._scores_token = 0
 
     # ------------------------------------------------------------------
+    def _scores_state(self) -> tuple[np.ndarray, int]:
+        """The ``(matrix, token)`` score snapshot, captured atomically.
+
+        One lock acquisition pairs the matrix with the token it belongs
+        to, so a :meth:`refresh_scores` racing a worker thread can never
+        cache responses computed from the new matrix under the old
+        token's key (and a cold bridge computes ``full_scores`` once,
+        not once per racing worker).
+        """
+        with self._cache_lock:
+            if self._scores is None:
+                self._scores = np.asarray(self.model.full_scores(), dtype=np.float64)
+            return self._scores, self._scores_token
+
     def scores(self) -> np.ndarray:
         """The model's score matrix, snapshotted on first use."""
-        if self._scores is None:
-            self._scores = np.asarray(self.model.full_scores(), dtype=np.float64)
-        return self._scores
+        return self._scores_state()[0]
 
     def refresh_scores(self) -> None:
         """Re-snapshot model scores (after training) and drop stale cache."""
-        self._scores = None
-        self._scores_token += 1
+        with self._cache_lock:
+            self._scores = None
+            self._scores_token += 1
 
-    def quality_for_user(self, user: int) -> np.ndarray:
+    def _quality_from_matrix(self, scores: np.ndarray, user: int) -> np.ndarray:
         transform = getattr(self.model, "quality_transform", "exp")
         return quality_from_scores(
-            self.scores()[int(user)], transform, temperature=self.temperature
+            scores[int(user)], transform, temperature=self.temperature
         )
+
+    def quality_for_user(self, user: int) -> np.ndarray:
+        return self._quality_from_matrix(self.scores(), user)
 
     def _exclusions(self, user: int) -> np.ndarray | None:
         if self.known_items is None:
@@ -143,9 +174,16 @@ class RecommenderBridge:
         k: int,
         mode: str = "map",
         seed: int | None = None,
+        scores: np.ndarray | None = None,
     ) -> Request:
-        """Assemble one user's :class:`Request` (quality, exclusions, pool)."""
-        quality = self.quality_for_user(user)
+        """Assemble one user's :class:`Request` (quality, exclusions, pool).
+
+        ``scores`` lets :meth:`recommend` pin one captured score matrix
+        across a whole batch; default is the current snapshot.
+        """
+        quality = self._quality_from_matrix(
+            self.scores() if scores is None else scores, user
+        )
         exclude = self._exclusions(user)
         candidates = None
         if self.candidate_pool is not None and mode != "topk-rerank":
@@ -164,7 +202,15 @@ class RecommenderBridge:
         )
 
     # ------------------------------------------------------------------
-    def _cache_key(self, user: int, k: int, mode: str, seed: int | None):
+    def _cache_key(
+        self,
+        user: int,
+        k: int,
+        mode: str,
+        seed: int | None,
+        catalog_version: int,
+        scores_token: int,
+    ):
         return (
             int(user),
             int(k),
@@ -172,8 +218,8 @@ class RecommenderBridge:
             seed,
             self.candidate_pool,
             self.temperature,
-            self.catalog.version,
-            self._scores_token,
+            catalog_version,
+            scores_token,
         )
 
     def recommend(
@@ -198,38 +244,62 @@ class RecommenderBridge:
         responses: list[Response | None] = [None] * len(users)
         pending: list[tuple[int, tuple | None]] = []
         requests: list[Request] = []
+        # One capture of the score state and one of the catalog snapshot
+        # cover the whole batch, so keys, served quality and the served
+        # factor version always describe the same state even when
+        # refresh_scores() or a catalog hot-swap lands mid-call.
+        scores, scores_token = self._scores_state()
+        snapshot = self.catalog.snapshot()
         for position, user in enumerate(users):
             seed = None if seeds is None else int(seeds[position])
             cacheable = mode != "sample" or seed is not None
-            key = self._cache_key(user, k, mode, seed) if cacheable else None
-            if key is not None and key in self._cache:
-                self._cache.move_to_end(key)
-                cached = self._cache[key]
+            key = (
+                self._cache_key(user, k, mode, seed, snapshot.version, scores_token)
+                if cacheable
+                else None
+            )
+            cached = None
+            if key is not None:
+                with self._cache_lock:
+                    cached = self._cache.get(key)
+                    if cached is not None:
+                        self._cache.move_to_end(key)
+                        self.cache_hits += 1
+                    else:
+                        self.cache_misses += 1
+            else:
+                with self._cache_lock:
+                    self.cache_misses += 1
+            if cached is not None:
                 responses[position] = Response(
                     items=list(cached.items),
                     log_probability=cached.log_probability,
                     mode=cached.mode,
                     k=cached.k,
                     cached=True,
+                    version=cached.version,
                 )
-                self.cache_hits += 1
                 continue
-            self.cache_misses += 1
             pending.append((position, key))
-            requests.append(self.build_request(user, k, mode=mode, seed=seed))
+            requests.append(
+                self.build_request(user, k, mode=mode, seed=seed, scores=scores)
+            )
         if requests:
-            served = self.server.serve(requests)
+            served = self.server.serve(requests, snapshot=snapshot)
             for (position, key), response in zip(pending, served):
                 responses[position] = response
                 if key is not None:
                     # Store a private copy: the caller owns the returned
                     # Response and may mutate its item list.
-                    self._cache[key] = Response(
+                    entry = Response(
                         items=list(response.items),
                         log_probability=response.log_probability,
                         mode=response.mode,
                         k=response.k,
+                        version=response.version,
                     )
-                    while len(self._cache) > self.cache_size:
-                        self._cache.popitem(last=False)
+                    with self._cache_lock:
+                        self._cache[key] = entry
+                        while len(self._cache) > self.cache_size:
+                            self._cache.popitem(last=False)
         return responses  # type: ignore[return-value]

@@ -2,37 +2,46 @@
 
 Serving a k-DPP recommendation is per-user only in a rank-r reweighting:
 every user's kernel is ``L_u = Diag(q_u) V Vᵀ Diag(q_u)`` (Eq. 2) over
-the *same* item factor matrix ``V``.  :class:`ItemCatalog` snapshots
-that shared state once and precomputes everything requests can reuse:
+the *same* item factor matrix ``V``.  :class:`ItemCatalog` publishes
+that shared state as a sequence of immutable :class:`CatalogSnapshot`
+versions.  Each snapshot precomputes everything requests can reuse:
 
-* the ``r × r`` Gram ``VᵀV`` and its eigendecomposition, cached per
-  catalog **version** (a refresh publishes new factors under a new
-  version, so stale cache entries can never serve fresh requests);
+* the ``r × r`` Gram ``VᵀV`` and its eigendecomposition, built lazily
+  and exactly once per version;
 * the symmetric outer-product table ``P[m] = vec(v_m v_mᵀ)`` (upper
   triangle), which turns a whole batch of dual kernels
   ``C_u = Vᵀ Diag(q_u²) V = Σ_m q_um² v_m v_mᵀ`` into a single
   ``(B, M) @ (M, r(r+1)/2)`` matmul — the serving engine's build path.
 
-Factors are snapshotted (copied, marked read-only) so a catalog version
-is immutable: response caches and spectrum caches key on the version
-token alone.
+Hot-swap contract (the serving runtime relies on it): a snapshot is a
+plain immutable object, so a reader that captured one — via
+:meth:`ItemCatalog.snapshot` — keeps serving from it no matter how many
+:meth:`ItemCatalog.refresh` calls happen meanwhile.  ``refresh`` is
+double-buffered: it fully builds the new snapshot *before* publishing it
+with one reference assignment, and keeps the previous snapshot alive so
+in-flight readers never race a teardown.  Response caches and spectrum
+caches key on the version token alone.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
 from ..dpp.diversity_kernel import DiversityKernelLearner
 
-__all__ = ["ItemCatalog"]
+__all__ = ["CatalogSnapshot", "ItemCatalog"]
 
 
-class ItemCatalog:
-    """Versioned snapshot of the ``(M, r)`` item factor matrix ``V``."""
+class CatalogSnapshot:
+    """One immutable published version of the ``(M, r)`` factors ``V``.
 
-    #: spectrum-cache entries kept across refreshes (old versions may
-    #: still be referenced by in-flight readers)
-    SPECTRUM_CACHE_KEEP = 2
+    All derived state (Gram, dual spectrum, outer-product table) is
+    built lazily under the snapshot's own lock, so concurrent serving
+    threads compute each piece exactly once per version and later reads
+    are lock-free dictionary-style attribute hits.
+    """
 
     #: refuse to build an outer-product table beyond this size — the
     #: table is O(M r²/2) and wide factor matrices (e.g. the identity-
@@ -40,30 +49,7 @@ class ItemCatalog:
     #: the fast path into a terabyte allocation
     GRAM_PRODUCTS_MAX_BYTES = 1 << 31
 
-    def __init__(self, factors: np.ndarray, version: int = 0) -> None:
-        self._spectrum_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-        self._install(factors, version)
-
-    @classmethod
-    def from_learner(
-        cls,
-        learner: DiversityKernelLearner,
-        normalize: str = "correlation",
-        shrink: float = 0.0,
-    ) -> "ItemCatalog":
-        """Snapshot a trained Eq. 3 learner via ``factors_normalized``.
-
-        Keep ``shrink = 0`` for catalog-scale serving: the shrunk form's
-        identity augmentation raises the factor width to ``r + M``, so
-        every dual becomes an ``(r+M) × (r+M)`` problem and
-        :meth:`gram_products` would need O(M³) memory (it refuses, see
-        ``GRAM_PRODUCTS_MAX_BYTES``).  Shrunk factors are meant for the
-        training criterion's small row gathers, not the serving engine.
-        """
-        return cls(learner.factors_normalized(normalize=normalize, shrink=shrink))
-
-    # ------------------------------------------------------------------
-    def _install(self, factors: np.ndarray, version: int) -> None:
+    def __init__(self, factors: np.ndarray, version: int) -> None:
         factors = np.array(factors, dtype=np.float64, copy=True)
         if factors.ndim != 2:
             raise ValueError(f"factors must be (M, r), got shape {factors.shape}")
@@ -71,23 +57,15 @@ class ItemCatalog:
             raise ValueError("factors contain non-finite entries")
         factors.setflags(write=False)
         self._factors = factors
-        self._version = version
+        self._version = int(version)
+        self._lock = threading.Lock()
         self._gram: np.ndarray | None = None
         self._gram_products: np.ndarray | None = None
+        self._spectrum: tuple[np.ndarray, np.ndarray] | None = None
         self._triu = np.triu_indices(factors.shape[1])
-
-    def refresh(self, factors: np.ndarray) -> int:
-        """Publish new factors under the next version; returns the version.
-
-        Cached Grams and outer-product tables are dropped; the spectrum
-        cache keeps its most recent entries (keyed by old versions) so a
-        reader holding a stale version token misses rather than reads
-        fresh state.
-        """
-        self._install(factors, self._version + 1)
-        while len(self._spectrum_cache) > self.SPECTRUM_CACHE_KEEP:
-            self._spectrum_cache.pop(next(iter(self._spectrum_cache)))
-        return self._version
+        #: how many times the dual spectrum was actually eigendecomposed
+        #: for this version — the hot-swap tests pin this to exactly 1.
+        self.spectrum_builds = 0
 
     # ------------------------------------------------------------------
     @property
@@ -107,26 +85,41 @@ class ItemCatalog:
     def version(self) -> int:
         return self._version
 
+    def take_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Gather factor rows for an integer index array of any shape.
+
+        The monolithic snapshot is a plain fancy-index; the sharded
+        twin (:class:`~repro.serving.sharding.ShardedSnapshot`)
+        reimplements this as a per-shard gather — the serving engine's
+        candidate-slice path only ever touches factors through here.
+        """
+        return self._factors[indices]
+
+    # ------------------------------------------------------------------
     def gram(self) -> np.ndarray:
         """``VᵀV`` — the unweighted dual kernel, computed once per version."""
         if self._gram is None:
-            self._gram = self._factors.T @ self._factors
+            with self._lock:
+                if self._gram is None:
+                    self._gram = self._factors.T @ self._factors
         return self._gram
 
     def dual_spectrum(self) -> tuple[np.ndarray, np.ndarray]:
-        """Eigendecomposition of :meth:`gram`, cached per catalog version.
+        """Eigendecomposition of :meth:`gram`, built once per version.
 
         This is the exact serving state for uniform-quality requests
         (``q_u = 1`` makes ``C_u = VᵀV``) and the warm-start diagnostic
         spectrum for everything else; eigenvalues ascending, clipped at
         zero like :meth:`LowRankKernel.eigh_dual`.
         """
-        cached = self._spectrum_cache.get(self._version)
-        if cached is None:
-            eigenvalues, eigenvectors = np.linalg.eigh(self.gram())
-            cached = (np.clip(eigenvalues, 0.0, None), eigenvectors)
-            self._spectrum_cache[self._version] = cached
-        return cached
+        if self._spectrum is None:
+            gram = self.gram()
+            with self._lock:
+                if self._spectrum is None:
+                    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+                    self.spectrum_builds += 1
+                    self._spectrum = (np.clip(eigenvalues, 0.0, None), eigenvectors)
+        return self._spectrum
 
     def gram_products(self) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
         """The ``(M, r(r+1)/2)`` symmetric outer-product table (lazy).
@@ -148,9 +141,11 @@ class ItemCatalog:
                     "on the full-catalog fast path — use candidate slices or "
                     "compact rank-r factors"
                 )
-            self._gram_products = np.ascontiguousarray(
-                self._factors[:, rows] * self._factors[:, cols]
-            )
+            with self._lock:
+                if self._gram_products is None:
+                    self._gram_products = np.ascontiguousarray(
+                        self._factors[:, rows] * self._factors[:, cols]
+                    )
         return self._gram_products, self._triu
 
     def build_duals(self, squared_quality: np.ndarray) -> np.ndarray:
@@ -168,3 +163,105 @@ class ItemCatalog:
         duals[:, rows, cols] = flat
         duals[:, cols, rows] = flat
         return duals
+
+
+class ItemCatalog:
+    """Versioned publisher of :class:`CatalogSnapshot` factor versions.
+
+    The catalog itself retains two generations: the published snapshot
+    and the one it displaced (in-flight readers additionally hold their
+    own snapshot references, which keep older generations alive as long
+    as needed).  The outer-product-table size limit lives on
+    :class:`CatalogSnapshot` (``GRAM_PRODUCTS_MAX_BYTES``), where the
+    allocation guard runs.
+    """
+
+    def __init__(self, factors: np.ndarray, version: int = 0) -> None:
+        self._current = CatalogSnapshot(factors, version)
+        self._previous: CatalogSnapshot | None = None
+        self._swap_lock = threading.Lock()
+
+    @classmethod
+    def from_learner(
+        cls,
+        learner: DiversityKernelLearner,
+        normalize: str = "correlation",
+        shrink: float = 0.0,
+    ) -> "ItemCatalog":
+        """Snapshot a trained Eq. 3 learner via ``factors_normalized``.
+
+        Keep ``shrink = 0`` for catalog-scale serving: the shrunk form's
+        identity augmentation raises the factor width to ``r + M``, so
+        every dual becomes an ``(r+M) × (r+M)`` problem and
+        :meth:`gram_products` would need O(M³) memory (it refuses, see
+        ``GRAM_PRODUCTS_MAX_BYTES``).  Shrunk factors are meant for the
+        training criterion's small row gathers, not the serving engine.
+        """
+        return cls(learner.factors_normalized(normalize=normalize, shrink=shrink))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> CatalogSnapshot:
+        """The currently published snapshot (capture once per request
+        batch: everything read through it is one consistent version)."""
+        return self._current
+
+    def refresh(self, factors: np.ndarray) -> int:
+        """Publish new factors under the next version; returns the version.
+
+        Double-buffered: the new snapshot is fully constructed (validated,
+        copied, frozen) before a single reference assignment makes it the
+        served version, and the displaced snapshot is kept as the back
+        buffer so readers that captured it finish against intact state.
+        Per-version caches (Gram, spectrum, outer-product table) start
+        empty on the new snapshot — invalidation is creation.
+        """
+        factors = np.asarray(factors)
+        if factors.ndim != 2 or factors.shape[0] != self.num_items:
+            raise ValueError(
+                f"published factors must keep the catalog's item axis "
+                f"({self.num_items}), got shape {factors.shape}"
+            )
+        with self._swap_lock:
+            fresh = CatalogSnapshot(factors, self._current.version + 1)
+            self._previous = self._current
+            self._current = fresh
+            return fresh.version
+
+    #: :class:`ShardedCatalog` calls the same operation ``publish``; the
+    #: alias lets the runtime hot-swap either catalog flavor uniformly.
+    publish = refresh
+
+    # ------------------------------------------------------------------
+    # Reads delegate to the current snapshot (one-shot callers; batch
+    # code paths capture ``snapshot()`` once instead).
+    # ------------------------------------------------------------------
+    @property
+    def factors(self) -> np.ndarray:
+        return self._current.factors
+
+    @property
+    def num_items(self) -> int:
+        return self._current.num_items
+
+    @property
+    def rank(self) -> int:
+        return self._current.rank
+
+    @property
+    def version(self) -> int:
+        return self._current.version
+
+    def take_rows(self, indices: np.ndarray) -> np.ndarray:
+        return self._current.take_rows(indices)
+
+    def gram(self) -> np.ndarray:
+        return self._current.gram()
+
+    def dual_spectrum(self) -> tuple[np.ndarray, np.ndarray]:
+        return self._current.dual_spectrum()
+
+    def gram_products(self) -> tuple[np.ndarray, tuple[np.ndarray, np.ndarray]]:
+        return self._current.gram_products()
+
+    def build_duals(self, squared_quality: np.ndarray) -> np.ndarray:
+        return self._current.build_duals(squared_quality)

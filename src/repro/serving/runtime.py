@@ -1,0 +1,165 @@
+"""The online serving runtime: live traffic in, versioned k-DPP lists out.
+
+:class:`ServingRuntime` composes the pieces of this package into the
+process a service actually runs:
+
+* a **catalog** — monolithic :class:`ItemCatalog` or
+  :class:`~repro.serving.sharding.ShardedCatalog` — publishing immutable
+  factor snapshots;
+* a matching **server** — :class:`KDPPServer`, or the shard-funnel
+  :class:`~repro.serving.sharding.ShardedKDPPServer` — doing exact
+  batched k-DPP work;
+* a :class:`~repro.serving.scheduler.MicroBatcher` coalescing
+  single-request :meth:`submit` calls into engine batches on worker
+  threads.
+
+Request lifecycle::
+
+    submit(request)                      # returns a Future immediately
+      └─ admission: pin the current catalog snapshot to the request
+           └─ micro-batch window (size max_batch / time max_wait)
+                └─ shard fan-out: per-shard quality top-k funnel
+                     └─ one exact k-DPP over the merged candidate pool
+                          └─ Future resolves to a version-stamped Response
+
+Snapshot hot-swap: :meth:`publish` double-buffers retrained factors
+into the catalog (build fully, then one reference swap).  Because every
+request pinned its snapshot at *admission*, requests already in the
+micro-batch queue complete against the version they were admitted
+under; requests submitted after :meth:`publish` are served — and
+stamped — with the new version.  The batcher serves each distinct
+snapshot in its own engine call, so one dispatched batch never mixes
+factor generations.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .catalog import ItemCatalog
+from .scheduler import MicroBatcher
+from .server import KDPPServer, Request, Response
+from .sharding import ShardedCatalog, ShardedKDPPServer
+
+__all__ = ["ServingRuntime"]
+
+
+class ServingRuntime:
+    """Async admission + micro-batching + hot-swap over a k-DPP server.
+
+    Parameters
+    ----------
+    catalog:
+        :class:`ItemCatalog` or :class:`ShardedCatalog`; picks the
+        default server flavor.
+    server:
+        Override the engine (must serve ``(requests, snapshot=...)``).
+    max_batch / max_wait / workers / clock:
+        Micro-batcher admission knobs, see
+        :class:`~repro.serving.scheduler.MicroBatcher`.  ``workers=0``
+        is the deterministic inline mode (drive with :meth:`poll` /
+        :meth:`flush`).
+    funnel_width / rerank_pool:
+        Forwarded to the default server construction.
+    """
+
+    def __init__(
+        self,
+        catalog: ItemCatalog | ShardedCatalog,
+        server: KDPPServer | None = None,
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+        workers: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        funnel_width: int = 32,
+        rerank_pool: int = 100,
+    ) -> None:
+        self.catalog = catalog
+        if server is None:
+            if isinstance(catalog, ShardedCatalog):
+                server = ShardedKDPPServer(
+                    catalog, funnel_width=funnel_width, rerank_pool=rerank_pool
+                )
+            else:
+                server = KDPPServer(catalog, rerank_pool=rerank_pool)
+        self.server = server
+        self._batcher = MicroBatcher(
+            self._serve_tagged,
+            max_batch=max_batch,
+            max_wait=max_wait,
+            workers=workers,
+            clock=clock,
+        )
+
+    def _serve_tagged(self, requests: list[Request], snapshot) -> Sequence[Response]:
+        return self.server.serve(requests, snapshot=snapshot)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, request: Request) -> Future:
+        """Admit one request; resolves to its version-stamped Response.
+
+        The catalog snapshot is captured here — at admission — so a
+        concurrent :meth:`publish` never retroactively changes what an
+        already-queued request serves against.
+        """
+        return self._batcher.submit(request, tag=self.catalog.snapshot())
+
+    def submit_many(self, requests: Sequence[Request]) -> list[Future]:
+        snapshot = self.catalog.snapshot()
+        return [self._batcher.submit(request, tag=snapshot) for request in requests]
+
+    def serve_now(self, requests: Sequence[Request]) -> list[Response]:
+        """Bypass admission: serve synchronously on the caller's thread
+        against the current snapshot (baselines, offline evaluation)."""
+        return self.server.serve(requests, snapshot=self.catalog.snapshot())
+
+    # ------------------------------------------------------------------
+    # Snapshot publication
+    # ------------------------------------------------------------------
+    def publish(self, factors: np.ndarray) -> int:
+        """Hot-swap retrained factors; returns the new catalog version.
+
+        Safe under in-flight traffic: double-buffered inside the
+        catalog, and queued requests keep their admission snapshot.
+        """
+        return self.catalog.publish(factors)
+
+    @property
+    def version(self) -> int:
+        return self.catalog.version
+
+    # ------------------------------------------------------------------
+    # Scheduling controls / lifecycle
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """Manual mode: dispatch due micro-batches inline (see batcher)."""
+        return self._batcher.poll()
+
+    def flush(self) -> int:
+        """Manual mode: dispatch everything pending inline."""
+        return self._batcher.flush()
+
+    @property
+    def pending(self) -> int:
+        return self._batcher.pending
+
+    @property
+    def stats(self) -> dict:
+        stats = self._batcher.stats
+        stats["catalog_version"] = self.catalog.version
+        return stats
+
+    def close(self) -> None:
+        self._batcher.close()
+
+    def __enter__(self) -> "ServingRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,307 @@
+"""Micro-batched request admission: single submits, batched serving.
+
+The engine's ~6x batching win (``BENCH_serving_engine.json``) only
+materializes when someone hands :meth:`KDPPServer.serve` a whole batch —
+but live traffic arrives one request at a time.  :class:`MicroBatcher`
+is the funnel in between: ``submit()`` enqueues one request and returns
+a :class:`concurrent.futures.Future`; worker threads pull *batches* off
+the shared queue whenever either admission trigger fires:
+
+* **size window** — ``max_batch`` requests are pending, or
+* **time window** — the oldest pending request has waited ``max_wait``
+  seconds (the latency budget a request pays to buy batching).
+
+Batching is adaptive under load: while every worker is busy serving,
+arrivals keep queueing, so the next free worker drains a *bigger* batch
+— exactly the backpressure behavior a closed-loop load test wants
+(see ``benchmarks/bench_runtime.py``).
+
+Determinism hooks: the clock is injectable (pass a
+:class:`~repro.utils.timing.ManualClock` and drive time by hand) and
+``workers=0`` runs no threads at all — batches are dispatched inline by
+explicit :meth:`poll` (honor the triggers against the injected clock)
+or :meth:`flush` (dispatch everything now), which is how the hot-swap
+and scheduling tests replay exact admission orders.
+
+Entries carry an opaque ``tag`` — the serving runtime passes the
+catalog snapshot captured at *admission* time, and ``serve`` is invoked
+once per distinct tag within a dispatched batch, so requests admitted
+under different published versions are never mixed into one kernel
+build (in-flight work completes against the version it was admitted
+under).
+
+Error isolation: if a batch serve raises (e.g. one request fails
+validation), the batch is retried request by request so only the
+offending futures carry the exception.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Sequence
+
+__all__ = ["MicroBatcher"]
+
+
+class _Pending:
+    __slots__ = ("request", "tag", "future", "admitted")
+
+    def __init__(self, request, tag, future, admitted: float) -> None:
+        self.request = request
+        self.tag = tag
+        self.future = future
+        self.admitted = admitted
+
+
+class MicroBatcher:
+    """Coalesces single-request ``submit()`` calls into served batches.
+
+    Parameters
+    ----------
+    serve:
+        ``serve(requests, tag) -> responses`` — the batch backend (the
+        runtime binds this to ``KDPPServer.serve`` pinned to the tag's
+        snapshot).  Called from worker threads (or inline when
+        ``workers=0``).
+    max_batch:
+        Size trigger and per-dispatch cap.
+    max_wait:
+        Time trigger, in clock seconds: no admitted request waits longer
+        than this before its batch is formed (scheduling delay, not
+        service time).
+    workers:
+        Serving threads.  ``0`` = manual mode (:meth:`poll` /
+        :meth:`flush` drive dispatch inline — deterministic).
+    clock:
+        Monotonic time source; inject a manual clock for determinism.
+        Threaded waiting assumes clock seconds are wall seconds, so
+        manual clocks belong with ``workers=0``.
+    """
+
+    def __init__(
+        self,
+        serve: Callable[[list, Any], Sequence],
+        max_batch: int = 32,
+        max_wait: float = 0.002,
+        workers: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be non-negative, got {max_wait}")
+        if workers < 0:
+            raise ValueError(f"workers must be non-negative, got {workers}")
+        self._serve = serve
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.workers = workers
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._pending: list[_Pending] = []
+        self._closed = False
+        self._stats = {
+            "submitted": 0,
+            "served": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "batches": 0,
+            "max_batch_size": 0,
+        }
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"microbatcher-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, request, tag: Any = None) -> Future:
+        """Admit one request; the future resolves when its batch is served."""
+        future: Future = Future()
+        entry = _Pending(request, tag, future, self._clock())
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            self._pending.append(entry)
+            self._stats["submitted"] += 1
+            self._cond.notify()
+        return future
+
+    def submit_many(self, requests: Sequence, tag: Any = None) -> list[Future]:
+        return [self.submit(request, tag) for request in requests]
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def stats(self) -> dict:
+        with self._cond:
+            return dict(self._stats)
+
+    # ------------------------------------------------------------------
+    # Dispatch triggers
+    # ------------------------------------------------------------------
+    def _due_locked(self) -> bool:
+        if not self._pending:
+            return False
+        if len(self._pending) >= self.max_batch:
+            return True
+        return self._clock() - self._pending[0].admitted >= self.max_wait
+
+    def _pop_batch_locked(self) -> list[_Pending]:
+        batch = self._pending[: self.max_batch]
+        del self._pending[: self.max_batch]
+        return batch
+
+    # ------------------------------------------------------------------
+    # Manual (deterministic) dispatch
+    # ------------------------------------------------------------------
+    def poll(self) -> int:
+        """Dispatch every batch whose trigger has fired; returns count.
+
+        Manual-mode pump: honors the same size/time triggers as the
+        worker threads but against the injected clock, serving inline.
+        """
+        dispatched = 0
+        while True:
+            with self._cond:
+                if not self._due_locked():
+                    return dispatched
+                batch = self._pop_batch_locked()
+            self._execute(batch)
+            dispatched += 1
+
+    def flush(self) -> int:
+        """Dispatch all pending requests now, triggers or not."""
+        dispatched = 0
+        while True:
+            with self._cond:
+                if not self._pending:
+                    return dispatched
+                batch = self._pop_batch_locked()
+            self._execute(batch)
+            dispatched += 1
+
+    # ------------------------------------------------------------------
+    # Threaded dispatch
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._closed and not self._due_locked():
+                    if self._pending:
+                        timeout = max(
+                            0.0,
+                            self._pending[0].admitted
+                            + self.max_wait
+                            - self._clock(),
+                        )
+                        self._cond.wait(timeout)
+                    else:
+                        self._cond.wait()
+                if not self._pending:
+                    if self._closed:
+                        return
+                    continue
+                batch = self._pop_batch_locked()
+            self._execute(batch)
+
+    def close(self) -> None:
+        """Stop accepting work, serve the stragglers, join the workers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join()
+        # Whatever the workers did not drain (manual mode, or entries
+        # admitted in the closing race) is served inline.
+        self.flush()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute(self, batch: list[_Pending]) -> None:
+        with self._cond:
+            self._stats["batches"] += 1
+            self._stats["max_batch_size"] = max(
+                self._stats["max_batch_size"], len(batch)
+            )
+        # One serve per distinct admission tag (= catalog snapshot):
+        # requests admitted across a hot-swap stay on their own version.
+        # Hashable tags group by equality — the tag is the dict key, so
+        # snapshots (which hash by identity: their version semantics)
+        # and value tags (ints, strings, tuples) both coalesce
+        # correctly; unhashable tags fall back to object identity.
+        groups: dict = {}
+        order: dict = {}
+        for entry in batch:
+            try:
+                hash(entry.tag)
+                key = entry.tag
+            except TypeError:
+                key = ("unhashable-tag", id(entry.tag))
+            groups.setdefault(key, []).append(entry)
+            order[key] = entry.tag
+        for key, members in groups.items():
+            self._execute_group(members, order[key])
+
+    def _execute_group(self, members: list[_Pending], tag: Any) -> None:
+        # Transition every future to RUNNING first: a future a caller
+        # already cancelled is dropped here (no work, no result), and
+        # the rest can no longer be cancelled — so the set_result /
+        # set_exception calls below cannot raise InvalidStateError and
+        # kill the worker thread mid-batch.
+        live = [m for m in members if m.future.set_running_or_notify_cancel()]
+        if len(live) != len(members):
+            with self._cond:
+                self._stats["cancelled"] += len(members) - len(live)
+        members = live
+        if not members:
+            return
+        try:
+            responses = self._serve([m.request for m in members], tag)
+            if len(responses) != len(members):
+                # A miscounting backend must not strand futures (a zip
+                # would drop the tail silently); the solo-retry path
+                # below surfaces the defect per request instead.
+                raise RuntimeError(
+                    f"serve returned {len(responses)} responses for "
+                    f"{len(members)} requests"
+                )
+        except Exception:
+            # A single bad request must not poison its batch neighbors:
+            # retry one by one so only the offender's future errors.
+            succeeded = 0
+            for member in members:
+                try:
+                    response = self._serve([member.request], tag)[0]
+                except Exception as error:  # noqa: BLE001 - forwarded to caller
+                    member.future.set_exception(error)
+                else:
+                    member.future.set_result(response)
+                    succeeded += 1
+            with self._cond:
+                self._stats["served"] += succeeded
+                self._stats["failed"] += len(members) - succeeded
+            return
+        for member, response in zip(members, responses):
+            member.future.set_result(response)
+        with self._cond:
+            self._stats["served"] += len(members)

@@ -46,6 +46,7 @@ each returns a valid greedy solution.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -66,11 +67,68 @@ from ..dpp.map_inference import (
     greedy_map,
 )
 from ..utils.topk import top_k_indices
-from .catalog import ItemCatalog
+from .catalog import CatalogSnapshot, ItemCatalog
 
-__all__ = ["Request", "Response", "KDPPServer", "REQUEST_MODES"]
+__all__ = [
+    "Request",
+    "Response",
+    "KDPPServer",
+    "REQUEST_MODES",
+    "validate_request_mode_and_k",
+    "effective_request_quality",
+]
 
 REQUEST_MODES = ("sample", "map", "topk-rerank")
+
+
+def validate_request_mode_and_k(request: "Request", index: int) -> None:
+    """Shared field checks — one source of truth for every serving
+    front end (the engine's ``_resolve`` and the sharded funnel)."""
+    if request.mode not in REQUEST_MODES:
+        raise ValueError(
+            f"request {index}: mode must be one of {REQUEST_MODES}, "
+            f"got {request.mode!r}"
+        )
+    if request.k < 1:
+        raise ValueError(f"request {index}: k must be positive, got {request.k}")
+    if request.rerank_pool is not None and request.rerank_pool < 1:
+        raise ValueError(
+            f"request {index}: rerank_pool must be positive, got "
+            f"{request.rerank_pool}"
+        )
+
+
+def effective_request_quality(
+    request: "Request", index: int, num_items: int, check_values: bool = True
+) -> np.ndarray:
+    """The request's catalog-sized quality with exclusions zeroed.
+
+    Shape and exclusion-id bounds are always enforced;
+    ``check_values=False`` defers the O(M) finiteness/negativity scan to
+    a later ``_resolve`` pass (the sharded funnel uses this so lowered
+    requests are not value-scanned twice).
+    """
+    quality = np.asarray(request.quality, dtype=np.float64)
+    if quality.shape != (num_items,):
+        raise ValueError(
+            f"request {index}: quality shape {quality.shape} does not "
+            f"match catalog size {num_items}"
+        )
+    if check_values and (
+        not np.all(np.isfinite(quality)) or np.any(quality < 0)
+    ):
+        raise ValueError(
+            f"request {index}: quality must be finite and non-negative"
+        )
+    if request.exclude is not None and len(request.exclude) > 0:
+        exclude = np.asarray(request.exclude, dtype=np.int64)
+        if np.any(exclude < 0) or np.any(exclude >= num_items):
+            raise ValueError(
+                f"request {index}: exclusion ids must be in [0, {num_items})"
+            )
+        quality = quality.copy()
+        quality[exclude] = 0.0
+    return quality
 
 
 @dataclass(frozen=True)
@@ -97,13 +155,17 @@ class Response:
     """Result of one request: selected items (catalog ids, list order =
     selection order) and the set's k-DPP log-probability under the
     request's personalized kernel (``None`` when greedy MAP stopped
-    early with fewer than k items)."""
+    early with fewer than k items).  ``version`` stamps the catalog
+    snapshot the request was served against — under live snapshot
+    hot-swaps it tells the caller exactly which factor generation
+    produced the list."""
 
     items: list[int]
     log_probability: float | None
     mode: str
     k: int
     cached: bool = False
+    version: int | None = None
 
 
 @dataclass
@@ -128,43 +190,31 @@ class KDPPServer:
             raise ValueError(f"rerank_pool must be positive, got {rerank_pool}")
         self.catalog = catalog
         self.rerank_pool = rerank_pool
-        self._rng = np.random.default_rng()
+        # Unseeded requests draw from generators spawned off one entropy
+        # source under a lock: numpy Generators are not thread-safe, and
+        # the micro-batcher serves batches from worker threads.
+        self._seed_sequence = np.random.SeedSequence()
+        self._seed_lock = threading.Lock()
+
+    def _pin(self, snapshot: CatalogSnapshot | None) -> CatalogSnapshot:
+        """The snapshot a batch serves against, captured exactly once.
+
+        The runtime passes the snapshot each request was *admitted*
+        under, so in-flight work survives a concurrent
+        :meth:`ItemCatalog.refresh`; direct callers get the catalog's
+        current version.
+        """
+        return snapshot if snapshot is not None else self.catalog.snapshot()
 
     # ------------------------------------------------------------------
     # Request resolution
     # ------------------------------------------------------------------
-    def _resolve(self, request: Request, index: int) -> _Resolved:
-        num_items = self.catalog.num_items
-        quality = np.asarray(request.quality, dtype=np.float64)
-        if quality.shape != (num_items,):
-            raise ValueError(
-                f"request {index}: quality shape {quality.shape} does not "
-                f"match catalog size {num_items}"
-            )
-        if not np.all(np.isfinite(quality)) or np.any(quality < 0):
-            raise ValueError(
-                f"request {index}: quality must be finite and non-negative"
-            )
-        if request.mode not in REQUEST_MODES:
-            raise ValueError(
-                f"request {index}: mode must be one of {REQUEST_MODES}, "
-                f"got {request.mode!r}"
-            )
-        if request.k < 1:
-            raise ValueError(f"request {index}: k must be positive, got {request.k}")
-        if request.exclude is not None and len(request.exclude) > 0:
-            exclude = np.asarray(request.exclude, dtype=np.int64)
-            if np.any(exclude < 0) or np.any(exclude >= num_items):
-                raise ValueError(
-                    f"request {index}: exclusion ids must be in [0, {num_items})"
-                )
-            quality = quality.copy()
-            quality[exclude] = 0.0
-        if request.rerank_pool is not None and request.rerank_pool < 1:
-            raise ValueError(
-                f"request {index}: rerank_pool must be positive, got "
-                f"{request.rerank_pool}"
-            )
+    def _resolve(
+        self, request: Request, index: int, snap: CatalogSnapshot
+    ) -> _Resolved:
+        num_items = snap.num_items
+        validate_request_mode_and_k(request, index)
+        quality = effective_request_quality(request, index, num_items)
         candidates = request.candidates
         mode = request.mode
         if mode == "topk-rerank":
@@ -193,6 +243,20 @@ class KDPPServer:
             raise ValueError(
                 f"request {index}: k={request.k} exceeds ground-set size {ground}"
             )
+        # A zero-quality item can never be selected, so the *effective*
+        # ground set is the positive-quality slice; catching k overruns
+        # here turns an opaque downstream eigensolver/ESP failure into a
+        # request-indexed error before any batch work starts.
+        effective = int(
+            np.count_nonzero(quality if candidates is None else quality[candidates])
+        )
+        if request.k > effective:
+            raise ValueError(
+                f"request {index}: k={request.k} exceeds the effective "
+                f"candidate count {effective} (items with positive quality "
+                f"left after exclusions and candidate slicing; ground set "
+                f"has {ground})"
+            )
         return _Resolved(
             index=index,
             quality=quality,
@@ -205,30 +269,41 @@ class KDPPServer:
 
     def _request_rng(self, resolved: _Resolved) -> np.random.Generator:
         if resolved.seed is None:
-            return self._rng
+            with self._seed_lock:
+                child = self._seed_sequence.spawn(1)[0]
+            return np.random.default_rng(child)
         return np.random.default_rng(resolved.seed)
 
     # ------------------------------------------------------------------
     # Batched serving
     # ------------------------------------------------------------------
-    def serve(self, requests: Sequence[Request]) -> list[Response]:
-        """Serve a batch of requests with shared catalog-scale work."""
-        resolved = [self._resolve(request, i) for i, request in enumerate(requests)]
+    def serve(
+        self,
+        requests: Sequence[Request],
+        snapshot: CatalogSnapshot | None = None,
+    ) -> list[Response]:
+        """Serve a batch of requests with shared catalog-scale work.
+
+        ``snapshot`` pins the batch to one published catalog version
+        (default: the current one); every response is stamped with it.
+        """
+        snap = self._pin(snapshot)
+        resolved = [
+            self._resolve(request, i, snap) for i, request in enumerate(requests)
+        ]
         responses: list[Response | None] = [None] * len(resolved)
         groups: dict[tuple, list[_Resolved]] = {}
         for item in resolved:
             ground = (
-                self.catalog.num_items
-                if item.candidates is None
-                else item.candidates.shape[0]
+                snap.num_items if item.candidates is None else item.candidates.shape[0]
             )
             key = (item.candidates is None, ground, item.k, item.mode)
             groups.setdefault(key, []).append(item)
         for (is_full, _, k, mode), members in groups.items():
             if is_full:
-                self._serve_full_group(members, k, mode, responses)
+                self._serve_full_group(members, k, mode, responses, snap)
             else:
-                self._serve_sliced_group(members, k, mode, responses)
+                self._serve_sliced_group(members, k, mode, responses, snap)
         return responses  # type: ignore[return-value]
 
     def _log_normalizers(
@@ -289,7 +364,9 @@ class KDPPServer:
         coefficients = np.take_along_axis(dual_vectors, chosen[:, None, :], axis=2)
         return coefficients / np.sqrt(selected)[:, None, :]
 
-    def _group_spectra(self, quality: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _group_spectra(
+        self, quality: np.ndarray, snap: CatalogSnapshot
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Dual spectra for a full-catalog request group.
 
         Constant-quality requests (``q_u = c``) are served straight from
@@ -300,7 +377,7 @@ class KDPPServer:
         ``eigh`` over the non-uniform rows.
         """
         batch, _ = quality.shape
-        rank = self.catalog.rank
+        rank = snap.rank
         uniform_scale = np.full(batch, -1.0)
         for b in range(batch):
             first = quality[b, 0]
@@ -310,13 +387,13 @@ class KDPPServer:
         dual_vectors = np.empty((batch, rank, rank))
         uniform = uniform_scale > 0
         if np.any(uniform):
-            cached_values, cached_vectors = self.catalog.dual_spectrum()
+            cached_values, cached_vectors = snap.dual_spectrum()
             scales = uniform_scale[uniform]
             eigenvalues[uniform] = scales[:, None] ** 2 * cached_values
             dual_vectors[uniform] = cached_vectors
         general = ~uniform
         if np.any(general):
-            duals = self.catalog.build_duals(quality[general] ** 2)
+            duals = snap.build_duals(quality[general] ** 2)
             values, vectors = np.linalg.eigh(duals)
             eigenvalues[general] = np.clip(values, 0.0, None)
             dual_vectors[general] = vectors
@@ -335,11 +412,16 @@ class KDPPServer:
         return logdets - log_normalizers
 
     def _serve_full_group(
-        self, members: list[_Resolved], k: int, mode: str, responses: list
+        self,
+        members: list[_Resolved],
+        k: int,
+        mode: str,
+        responses: list,
+        snap: CatalogSnapshot,
     ) -> None:
-        factors = self.catalog.factors
+        factors = snap.factors
         quality = np.stack([member.quality for member in members])
-        eigenvalues, dual_vectors = self._group_spectra(quality)
+        eigenvalues, dual_vectors = self._group_spectra(quality, snap)
         log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
         if mode == "sample":
             rngs = [self._request_rng(member) for member in members]
@@ -351,21 +433,27 @@ class KDPPServer:
                 quality,
                 coefficients,
                 rngs,
-                gram_products=self.catalog.gram_products(),
+                gram_products=snap.gram_products(),
             )
         else:
             samples = batched_greedy_map_shared(factors, quality, k)
-        self._emit(members, samples, log_normalizers, quality, None, k, responses)
+        self._emit(
+            members, samples, log_normalizers, quality, None, k, responses, snap
+        )
 
     def _serve_sliced_group(
-        self, members: list[_Resolved], k: int, mode: str, responses: list
+        self,
+        members: list[_Resolved],
+        k: int,
+        mode: str,
+        responses: list,
+        snap: CatalogSnapshot,
     ) -> None:
-        factors = self.catalog.factors
         candidates = np.stack([member.candidates for member in members])
         local_quality = np.stack(
             [member.quality[member.candidates] for member in members]
         )
-        stack = local_quality[:, :, None] * factors[candidates]
+        stack = local_quality[:, :, None] * snap.take_rows(candidates)
         duals = np.matmul(np.swapaxes(stack, 1, 2), stack)
         eigenvalues, dual_vectors = np.linalg.eigh(duals)
         eigenvalues = np.clip(eigenvalues, 0.0, None)
@@ -379,7 +467,9 @@ class KDPPServer:
             samples = batched_sample_elementary_stacked(bases, rngs)
         else:
             samples = batched_greedy_map_stacked(stack, k)
-        self._emit(members, samples, log_normalizers, None, stack, k, responses)
+        self._emit(
+            members, samples, log_normalizers, None, stack, k, responses, snap
+        )
 
     def _emit(
         self,
@@ -390,9 +480,9 @@ class KDPPServer:
         stack: np.ndarray | None,
         k: int,
         responses: list,
+        snap: CatalogSnapshot,
     ) -> None:
         """Attach log-probabilities and map local picks to catalog ids."""
-        factors = self.catalog.factors
         complete = [
             b
             for b, sample in enumerate(samples)
@@ -402,7 +492,7 @@ class KDPPServer:
         if complete:
             if stack is None:
                 picks = np.array([samples[b] for b in complete], dtype=np.int64)
-                rows = factors[picks] * quality[complete][
+                rows = snap.factors[picks] * quality[complete][
                     np.arange(len(complete))[:, None], picks
                 ][:, :, None]
             else:
@@ -424,12 +514,17 @@ class KDPPServer:
                 log_probability=None if value is None else float(value),
                 mode=member.report_mode,
                 k=member.k,
+                version=snap.version,
             )
 
     # ------------------------------------------------------------------
     # Sequential reference (the PR 2 loop)
     # ------------------------------------------------------------------
-    def serve_sequential(self, requests: Sequence[Request]) -> list[Response]:
+    def serve_sequential(
+        self,
+        requests: Sequence[Request],
+        snapshot: CatalogSnapshot | None = None,
+    ) -> list[Response]:
         """One ``KDPP.from_factors`` / ``greedy_map`` per request.
 
         This is exactly the serving loop PR 2 made fast for a *single*
@@ -438,15 +533,16 @@ class KDPPServer:
         is both the benchmark baseline and the parity oracle: for seeded
         requests, :meth:`serve` must return identical items.
         """
+        snap = self._pin(snapshot)
         responses: list[Response] = []
         for i, request in enumerate(requests):
-            member = self._resolve(request, i)
+            member = self._resolve(request, i, snap)
             if member.candidates is None:
-                factors = member.quality[:, None] * self.catalog.factors
+                factors = member.quality[:, None] * snap.factors
             else:
                 factors = (
                     member.quality[member.candidates][:, None]
-                    * self.catalog.factors[member.candidates]
+                    * snap.take_rows(member.candidates)
                 )
             lowrank = LowRankKernel(factors)
             if member.mode == "sample":
@@ -470,6 +566,7 @@ class KDPPServer:
                     log_probability=log_probability,
                     mode=member.report_mode,
                     k=member.k,
+                    version=snap.version,
                 )
             )
         return responses

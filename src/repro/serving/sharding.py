@@ -1,0 +1,353 @@
+"""Sharded catalogs: k-DPP serving past the single-dual-build ceiling.
+
+Above ~10⁵ items the monolithic fast path starts to strain — the
+outer-product table behind :meth:`CatalogSnapshot.build_duals` grows as
+``O(M r²/2)`` and every full-catalog request drags ``O(M)`` state
+through each sampling/MAP step.  :class:`ShardedCatalog` partitions the
+item axis into contiguous per-shard :class:`CatalogSnapshot` slices, and
+:class:`ShardedKDPPServer` serves them with a **shard-then-batch
+funnel**:
+
+1. every request's per-item quality is split along the shard boundaries
+   and each shard contributes its local top-``w`` items by quality (two
+   vectorized passes per shard for a whole request batch,
+   :func:`~repro.utils.topk.top_k_indices_rows`);
+2. the per-shard winners are merged into one candidate pool per request
+   (disjoint global ids, shard order);
+3. one **exact** k-DPP — Liu/Walder/Xie's LkP semantics, via the same
+   batched dual build + stacked ``eigh`` + projector samplers the
+   engine uses for candidate slices — runs over the merged pool.
+
+Because the per-pool duals stay ``r × r`` (Gartrell/Paquet/Koenigstein's
+low-rank construction), step 3 costs the same as serving a small
+catalog: the funnel turns catalog scale into pool scale without
+approximating the k-DPP on the pool.  Step 1 is where the catalog size
+lives, and it is embarrassingly shardable — the levers later PRs pull
+(per-shard processes, replicas) all slot in behind the same
+:class:`ShardedSnapshot` read interface.
+
+Parity contract (pinned by ``tests/test_runtime.py``): for the same
+merged candidate pool, :meth:`ShardedKDPPServer.serve` returns exactly
+what a monolithic :class:`KDPPServer` over the unsharded factors
+returns for ``Request(candidates=pool)`` — identical seeded samples,
+identical MAP selections, identical log-probabilities.  One caveat,
+analogous to the engine's greedy-MAP tie caveat: quality values tied
+*exactly at a pool cutoff* may break differently between per-shard and
+whole-catalog top-k, so pool membership (and hence `topk-rerank`
+equality with the monolithic server) is guaranteed only for tie-free
+qualities — which continuous scores are almost surely.
+
+Publication is double-buffered like :meth:`ItemCatalog.refresh`: a
+:meth:`ShardedCatalog.publish` builds every new shard snapshot first,
+then swaps one :class:`ShardedSnapshot` reference, so readers captured
+mid-swap keep a consistent all-old view and never see shards from two
+generations.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from ..utils.topk import top_k_indices, top_k_indices_rows
+from .catalog import CatalogSnapshot
+from .server import (
+    KDPPServer,
+    Request,
+    effective_request_quality,
+    validate_request_mode_and_k,
+)
+
+__all__ = ["ShardedCatalog", "ShardedSnapshot", "ShardedKDPPServer"]
+
+
+class ShardedSnapshot:
+    """One immutable published generation of all shard snapshots.
+
+    Exposes the same read surface the serving engine needs from a
+    :class:`CatalogSnapshot` (``num_items`` / ``rank`` / ``version`` /
+    ``take_rows``), plus the shard-funnel primitive ``shard_topk``.
+    """
+
+    def __init__(
+        self, shards: Sequence[CatalogSnapshot], offsets: np.ndarray, version: int
+    ) -> None:
+        self.shards = tuple(shards)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self._version = int(version)
+        self._lock = threading.Lock()
+        self._factors: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_items(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def rank(self) -> int:
+        return self.shards[0].rank
+
+    @property
+    def factors(self) -> np.ndarray:
+        """The concatenated ``(M, r)`` view (lazy; debugging/parity use —
+        the serving paths only gather rows per shard)."""
+        if self._factors is None:
+            with self._lock:
+                if self._factors is None:
+                    stacked = np.concatenate([s.factors for s in self.shards])
+                    stacked.setflags(write=False)
+                    self._factors = stacked
+        return self._factors
+
+    def shard_sizes(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    # ------------------------------------------------------------------
+    def take_rows(self, indices: np.ndarray) -> np.ndarray:
+        """Gather factor rows for global item ids of any index shape.
+
+        Ids are mapped to ``(shard, local)`` with one ``searchsorted``
+        against the shard boundaries, then gathered shard by shard —
+        no concatenated factor matrix is ever materialized.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        flat = indices.ravel()
+        rows = np.empty((flat.shape[0], self.rank), dtype=np.float64)
+        owners = np.searchsorted(self.offsets, flat, side="right") - 1
+        for s, shard in enumerate(self.shards):
+            mask = owners == s
+            if np.any(mask):
+                rows[mask] = shard.factors[flat[mask] - self.offsets[s]]
+        return rows.reshape(*indices.shape, self.rank)
+
+    def shard_topk(self, quality: np.ndarray, width: int) -> np.ndarray:
+        """Per-shard quality top-``width`` funnel for a request batch.
+
+        ``quality`` is the ``(B, M)`` effective-quality stack; each shard
+        contributes its ``min(width, shard size)`` highest-quality items
+        per request (descending within a shard), reported as global ids
+        and concatenated in shard order — every request's merged
+        candidate pool is one row of the ``(B, P)`` result.
+        """
+        quality = np.asarray(quality, dtype=np.float64)
+        if quality.ndim != 2 or quality.shape[1] != self.num_items:
+            raise ValueError(
+                f"quality stack must be (B, {self.num_items}), got {quality.shape}"
+            )
+        if width < 1:
+            raise ValueError(f"funnel width must be positive, got {width}")
+        pools = []
+        for s in range(self.num_shards):
+            lo, hi = int(self.offsets[s]), int(self.offsets[s + 1])
+            local_width = min(width, hi - lo)
+            pools.append(top_k_indices_rows(quality[:, lo:hi], local_width) + lo)
+        return np.concatenate(pools, axis=1)
+
+
+class ShardedCatalog:
+    """Partitioned item catalog: contiguous shards, atomic publication."""
+
+    def __init__(
+        self, factors: np.ndarray, num_shards: int = 4, version: int = 0
+    ) -> None:
+        factors = np.asarray(factors)
+        if factors.ndim != 2:
+            raise ValueError(f"factors must be (M, r), got shape {factors.shape}")
+        if not 1 <= num_shards <= factors.shape[0]:
+            raise ValueError(
+                f"num_shards must be in [1, {factors.shape[0]}], got {num_shards}"
+            )
+        bounds = np.linspace(0, factors.shape[0], num_shards + 1).astype(np.int64)
+        self._offsets = bounds
+        self._swap_lock = threading.Lock()
+        self._current = self._build(factors, version)
+        self._previous: ShardedSnapshot | None = None
+
+    def _build(self, factors: np.ndarray, version: int) -> ShardedSnapshot:
+        shards = [
+            CatalogSnapshot(
+                factors[self._offsets[s] : self._offsets[s + 1]], version
+            )
+            for s in range(len(self._offsets) - 1)
+        ]
+        return ShardedSnapshot(shards, self._offsets, version)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ShardedSnapshot:
+        return self._current
+
+    def publish(self, factors: np.ndarray) -> int:
+        """Swap in retrained factors under the next version (atomic).
+
+        All shard snapshots of the new generation are built (validated,
+        copied, frozen) *before* the single reference assignment that
+        publishes them; the displaced generation is retained as the back
+        buffer for in-flight readers.  Returns the new version.
+        """
+        factors = np.asarray(factors)
+        if factors.ndim != 2 or factors.shape[0] != self.num_items:
+            raise ValueError(
+                f"published factors must keep the catalog's item axis "
+                f"({self.num_items}), got shape {factors.shape}"
+            )
+        with self._swap_lock:
+            fresh = self._build(factors, self._current.version + 1)
+            self._previous = self._current
+            self._current = fresh
+            return fresh.version
+
+    #: the runtime hot-swaps either catalog flavor through one name.
+    refresh = publish
+
+    # ------------------------------------------------------------------
+    @property
+    def num_items(self) -> int:
+        return int(self._offsets[-1])
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._offsets) - 1
+
+    @property
+    def rank(self) -> int:
+        return self._current.rank
+
+    @property
+    def version(self) -> int:
+        return self._current.version
+
+
+class ShardedKDPPServer(KDPPServer):
+    """Funnelled k-DPP serving over a :class:`ShardedCatalog`.
+
+    Requests keep the full :class:`~repro.serving.server.Request`
+    semantics (catalog-sized quality, per-request ``k``, exclusions,
+    modes, seeds).  Serving *lowers* each request to an explicit
+    candidate slice — the merged per-shard top-``funnel_width`` pool —
+    and then reuses the engine's exact candidate-slice path, so the
+    result over the pool is an exact k-DPP draw / greedy MAP, bit-equal
+    to a monolithic :class:`KDPPServer` handed the same pool.
+
+    ``funnel_width`` is the per-shard candidate budget (clipped to the
+    shard size; at least ``k`` is always taken).  ``topk-rerank``
+    requests funnel per-shard top-``rerank_pool`` and then keep the
+    exact global top-``rerank_pool`` of the union — per-shard top-N
+    contains global top-N, so for tie-free qualities the rerank pool
+    matches the monolithic server's item for item (exact ties at the
+    cutoff may resolve to different, equally-ranked members).
+    """
+
+    def __init__(
+        self,
+        catalog: ShardedCatalog,
+        funnel_width: int = 32,
+        rerank_pool: int = 100,
+    ) -> None:
+        super().__init__(catalog, rerank_pool=rerank_pool)  # type: ignore[arg-type]
+        if funnel_width < 1:
+            raise ValueError(f"funnel_width must be positive, got {funnel_width}")
+        self.funnel_width = funnel_width
+
+    # ------------------------------------------------------------------
+    def _lower(self, requests: Sequence[Request], snap: ShardedSnapshot) -> list[Request]:
+        """Rewrite every request as an explicit merged-pool slice.
+
+        Funnel pools for same-width requests — rerank included — are
+        built with one vectorized per-shard top-k over the stacked
+        qualities.  Field validation reuses the engine's helpers; the
+        O(M) finiteness/negativity scan runs once, in ``_resolve`` on
+        the lowered request (non-finite entries can transiently enter a
+        pool, but never reach a kernel).
+        """
+        lowered: list[Request | None] = [None] * len(requests)
+        by_width: dict[int, list[tuple[int, Request, np.ndarray]]] = {}
+        for index, request in enumerate(requests):
+            validate_request_mode_and_k(request, index)
+            if request.candidates is not None:
+                # Caller-specified slices bypass the funnel untouched
+                # (the engine validates and serves them as-is).
+                lowered[index] = request
+                continue
+            quality = effective_request_quality(
+                request, index, snap.num_items, check_values=False
+            )
+            if request.mode == "topk-rerank":
+                pool_size = (
+                    self.rerank_pool
+                    if request.rerank_pool is None
+                    else request.rerank_pool
+                )
+                width = max(pool_size, request.k)
+            else:
+                width = max(self.funnel_width, request.k)
+            by_width.setdefault(width, []).append((index, request, quality))
+        for width, members in by_width.items():
+            stacked = np.stack([quality for _, _, quality in members])
+            pools = snap.shard_topk(stacked, width)
+            for row, (index, request, quality) in enumerate(members):
+                if request.mode == "topk-rerank":
+                    # Exact global top-N: per-shard top-N covers it, so
+                    # rank the union and keep the global winners.
+                    union = pools[row]
+                    pool = union[top_k_indices(quality[union], width)]
+                    mode = "map"
+                else:
+                    pool, mode = pools[row], request.mode
+                lowered[index] = Request(
+                    quality=quality,
+                    k=request.k,
+                    mode=mode,
+                    candidates=pool,
+                    seed=request.seed,
+                )
+        return lowered  # type: ignore[return-value]
+
+    @staticmethod
+    def _restamp_modes(requests: Sequence[Request], responses: list) -> list:
+        """Report the caller's mode for funnel-lowered rerank requests
+        (the engine saw them as ``map`` over an explicit slice)."""
+        for request, response in zip(requests, responses):
+            if request.mode == "topk-rerank" and request.candidates is None:
+                response.mode = "topk-rerank"
+        return responses
+
+    # ------------------------------------------------------------------
+    def serve(
+        self,
+        requests: Sequence[Request],
+        snapshot: ShardedSnapshot | None = None,
+    ) -> list:
+        snap = self._pin(snapshot)
+        responses = super().serve(self._lower(requests, snap), snapshot=snap)
+        return self._restamp_modes(requests, responses)
+
+    def serve_sequential(
+        self,
+        requests: Sequence[Request],
+        snapshot: ShardedSnapshot | None = None,
+    ) -> list:
+        snap = self._pin(snapshot)
+        responses = super().serve_sequential(
+            self._lower(requests, snap), snapshot=snap
+        )
+        return self._restamp_modes(requests, responses)
+
+    def funnel_pool(self, request: Request, snapshot: ShardedSnapshot | None = None) -> np.ndarray:
+        """The merged candidate pool this server would build for one
+        request — exposed so callers (tests, monolithic parity baselines)
+        can serve the identical pool elsewhere."""
+        snap = self._pin(snapshot)
+        lowered = self._lower([request], snap)[0]
+        if lowered.candidates is None:  # pragma: no cover - lowering always slices
+            raise RuntimeError("lowering produced no candidate pool")
+        return np.asarray(lowered.candidates, dtype=np.int64)

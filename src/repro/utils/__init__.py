@@ -1,15 +1,17 @@
 """Shared utilities: deterministic RNG handling, top-k selection, timing."""
 
 from .rng import ensure_rng, seeded_children, spawn
-from .timing import Stopwatch, latency_percentiles, timed
-from .topk import rank_of_items, top_k_indices
+from .timing import ManualClock, Stopwatch, latency_percentiles, timed
+from .topk import rank_of_items, top_k_indices, top_k_indices_rows
 
 __all__ = [
     "ensure_rng",
     "spawn",
     "seeded_children",
     "top_k_indices",
+    "top_k_indices_rows",
     "rank_of_items",
+    "ManualClock",
     "Stopwatch",
     "timed",
     "latency_percentiles",

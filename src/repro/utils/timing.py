@@ -6,7 +6,29 @@ import time
 from contextlib import contextmanager
 from typing import Iterable, Sequence
 
-__all__ = ["Stopwatch", "timed", "latency_percentiles"]
+__all__ = ["ManualClock", "Stopwatch", "timed", "latency_percentiles"]
+
+
+class ManualClock:
+    """A callable monotonic clock advanced by hand.
+
+    Drop-in for ``time.monotonic`` wherever a component takes an
+    injectable ``clock`` (the micro-batch scheduler does), so tests and
+    deterministic replays control time explicitly instead of sleeping.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward (never backward); returns the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time, got {seconds}")
+        self._now += seconds
+        return self._now
 
 
 class Stopwatch:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["top_k_indices", "rank_of_items"]
+__all__ = ["top_k_indices", "top_k_indices_rows", "rank_of_items"]
 
 
 def top_k_indices(scores: np.ndarray, k: int, exclude: np.ndarray | None = None) -> np.ndarray:
@@ -29,6 +29,32 @@ def top_k_indices(scores: np.ndarray, k: int, exclude: np.ndarray | None = None)
         return np.empty(0, dtype=np.int64)
     candidates = np.argpartition(-scores, k - 1)[:k]
     return candidates[np.argsort(-scores[candidates], kind="stable")]
+
+
+def top_k_indices_rows(scores: np.ndarray, k: int) -> np.ndarray:
+    """Row-wise :func:`top_k_indices` for a ``(B, M)`` score stack.
+
+    One ``argpartition`` + one ``argsort`` over the whole stack instead
+    of B python-level calls — the sharded serving funnel runs this per
+    shard to build every request's candidate pool in two vectorized
+    passes.  Rows are assumed finite (serving quality vectors are);
+    ``k`` must not exceed the row length.  Returns ``(B, k)`` indices in
+    descending score order per row.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"expected a (B, M) score stack, got {scores.shape}")
+    if not 1 <= k <= scores.shape[1]:
+        raise ValueError(f"k must be in [1, {scores.shape[1]}], got {k}")
+    if k == scores.shape[1]:
+        candidates = np.broadcast_to(
+            np.arange(k), (scores.shape[0], k)
+        )
+    else:
+        candidates = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    picked = np.take_along_axis(-scores, candidates, axis=1)
+    order = np.argsort(picked, axis=1, kind="stable")
+    return np.take_along_axis(candidates, order, axis=1)
 
 
 def rank_of_items(scores: np.ndarray, items: np.ndarray) -> np.ndarray:

@@ -88,10 +88,21 @@ def test_catalog_gram_and_spectrum_cached_per_version():
 
 
 def test_catalog_gram_products_refuses_wide_factors(monkeypatch):
+    from repro.serving import CatalogSnapshot
+
     catalog = ItemCatalog(_factors(2, 30, 6))
-    monkeypatch.setattr(ItemCatalog, "GRAM_PRODUCTS_MAX_BYTES", 1024)
+    monkeypatch.setattr(CatalogSnapshot, "GRAM_PRODUCTS_MAX_BYTES", 1024)
     with pytest.raises(ValueError, match="outer-product table"):
         catalog.gram_products()
+
+
+def test_catalog_refresh_keeps_item_axis():
+    catalog = ItemCatalog(_factors(2, 30, 6))
+    with pytest.raises(ValueError, match="item axis"):
+        catalog.refresh(_factors(3, 29, 6))
+    # A rank change on the same items is a legal retrain.
+    assert catalog.refresh(_factors(3, 30, 4)) == 1
+    assert catalog.rank == 4
 
 
 def test_catalog_build_duals_matches_per_user_grams():
@@ -402,14 +413,17 @@ def test_server_uniform_quality_served_from_cached_spectrum(world):
     requests = [
         Request(quality=quality, k=4, mode="sample", seed=1500 + b) for b in range(4)
     ] + [Request(quality=quality, k=4, mode="map")]
-    original = catalog.build_duals
-    catalog.build_duals = lambda *_: (_ for _ in ()).throw(
+    # Serving pins the current snapshot, so the guard patches it (not
+    # the catalog facade) to prove no dual build happens.
+    snap = catalog.snapshot()
+    original = snap.build_duals
+    snap.build_duals = lambda *_: (_ for _ in ()).throw(
         AssertionError("uniform requests must not rebuild duals")
     )
     try:
         responses = server.serve(requests)
     finally:
-        catalog.build_duals = original
+        snap.build_duals = original
     for b in range(4):
         items, log_probability = _manual_sample(
             catalog.factors, quality, 4, 1500 + b
@@ -427,6 +441,66 @@ def test_server_uniform_quality_served_from_cached_spectrum(world):
         dpp.log_subset_probability(map_response.items),
         rtol=1e-8,
     )
+
+
+def test_server_k_exceeds_effective_candidates_raises_clearly(world):
+    """k above the positive-quality count must fail at validation, not
+    surface a downstream eigensolver/ESP error — for every mode."""
+    catalog, server = world
+    sparse = np.zeros(catalog.num_items)
+    sparse[:3] = 1.0  # only 3 selectable items
+    for mode in ("sample", "map"):
+        with pytest.raises(ValueError, match="effective candidate count 3"):
+            server.serve([Request(quality=sparse, k=4, mode=mode)])
+    # Exclusions shrink the effective set the same way.
+    rich = np.ones(catalog.num_items)
+    exclude = np.arange(catalog.num_items - 2)
+    with pytest.raises(ValueError, match="effective candidate count 2"):
+        server.serve([Request(quality=rich, k=3, mode="map", exclude=exclude)])
+    # Candidate slices count only their own positive entries.
+    sliced = np.zeros(catalog.num_items)
+    sliced[10:12] = 1.0
+    with pytest.raises(ValueError, match="effective candidate count 2"):
+        server.serve(
+            [Request(quality=sliced, k=3, mode="sample", candidates=np.arange(8, 14))]
+        )
+    # k within the effective count still works (and the error is not
+    # about total ground size).
+    fits = server.serve([Request(quality=sparse, k=3, mode="map")])
+    assert sorted(fits[0].items) == [0, 1, 2]
+
+
+def test_server_effective_count_error_names_request_in_hetero_batch(world):
+    """A heterogeneous batch reports the offending request's index."""
+    catalog, server = world
+    good = _quality_batch(40, 2, catalog.num_items)
+    starving = np.zeros(catalog.num_items)
+    starving[5] = 2.0
+    batch = [
+        Request(quality=good[0], k=3, mode="sample", seed=1),
+        Request(quality=good[1], k=5, mode="map"),
+        Request(quality=starving, k=2, mode="sample", seed=2),
+    ]
+    with pytest.raises(ValueError, match="request 2: k=2 exceeds the effective"):
+        server.serve(batch)
+    with pytest.raises(ValueError, match="request 2"):
+        server.serve_sequential(batch)
+    # The same batch without the starving request serves fine.
+    assert len(server.serve(batch[:2])) == 2
+
+
+def test_server_responses_are_version_stamped(world):
+    catalog, server = world
+    quality = _quality_batch(41, 2, catalog.num_items)
+    before = catalog.version
+    responses = server.serve(
+        [Request(quality=quality[b], k=3, mode="map") for b in range(2)]
+    )
+    assert all(response.version == before for response in responses)
+    sequential = server.serve_sequential(
+        [Request(quality=quality[0], k=3, mode="map")]
+    )
+    assert sequential[0].version == before
 
 
 def test_server_rerank_pool_validation(world):
@@ -548,6 +622,76 @@ def test_bridge_cache_eviction(bridge_world):
     assert len(bridge._cache) == 2  # user 0 evicted
     bridge.recommend([0], k=3, mode="map")
     assert bridge.cache_hits == 0
+
+
+def test_bridge_cache_thread_safety_under_concurrent_access(bridge_world):
+    """Worker threads (the micro-batcher's callers) hammer one bridge:
+    every response must stay correct, the LRU must respect its bound,
+    and the hit/miss counters must reconcile — no lost updates."""
+    import threading
+
+    model, catalog, known = bridge_world
+    bridge = RecommenderBridge(model, catalog, known_items=known, cache_size=3)
+    users = list(range(6))
+    expected = {}
+    for user in users:
+        quality = bridge.quality_for_user(user).copy()
+        quality[known[user]] = 0.0
+        expected[user] = greedy_map(
+            LowRankKernel(quality[:, None] * catalog.factors), 4
+        )
+    rounds, errors = 25, []
+
+    def hammer(offset: int) -> None:
+        try:
+            for i in range(rounds):
+                user = users[(i + offset) % len(users)]
+                response = bridge.recommend([user], k=4, mode="map")[0]
+                assert response.items == expected[user], user
+        except Exception as error:  # noqa: BLE001 - surfaced below
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer, args=(t,)) for t in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(bridge._cache) <= 3  # eviction bound held under races
+    total = 4 * rounds
+    assert bridge.cache_hits + bridge.cache_misses == total
+    assert bridge.cache_hits > 0  # reuse actually happened
+
+
+def test_bridge_cache_eviction_under_concurrent_inserts(bridge_world):
+    """Concurrent misses that all insert must still evict down to the
+    configured size (the lock makes insert + evict atomic)."""
+    import threading
+
+    model, catalog, known = bridge_world
+    bridge = RecommenderBridge(model, catalog, known_items=known, cache_size=2)
+    barrier = threading.Barrier(3)
+
+    def insert(user: int) -> None:
+        barrier.wait()
+        bridge.recommend([user], k=3, mode="map")
+
+    threads = [threading.Thread(target=insert, args=(u,)) for u in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(bridge._cache) == 2
+    assert bridge.cache_misses == 3
+
+
+def test_bridge_cached_responses_carry_catalog_version(bridge_world):
+    model, catalog, known = bridge_world
+    bridge = RecommenderBridge(model, catalog, known_items=known)
+    first = bridge.recommend([0], k=3, mode="map")[0]
+    assert first.version == catalog.version
+    again = bridge.recommend([0], k=3, mode="map")[0]
+    assert again.cached and again.version == first.version
 
 
 def test_bridge_validation(bridge_world):

@@ -9,14 +9,16 @@ every response is stamped with the catalog version that produced it.
 Request lifecycle::
 
     submit → admission (pin snapshot) → micro-batch window
-           → per-shard quality top-k funnel → exact k-DPP on merged pool
-           → versioned Response
+           → candidate generation (funnel cache, else the configured
+             source — here a quantile-sketch funnel)
+           → exact k-DPP on merged pool → versioned Response
 
 Run:  python examples/serving_runtime.py
 """
 
 import numpy as np
 
+from repro.retrieval import FunnelCache, QuantileFunnel
 from repro.serving import Request, ServingRuntime, ShardedCatalog
 
 
@@ -37,26 +39,41 @@ def main() -> None:
         f"rank {catalog.rank}, version {catalog.version}"
     )
 
+    # Candidate generation is pluggable (repro.retrieval): the quantile-
+    # sketch funnel replaces the exact per-shard top-k scan, and the
+    # funnel cache short-circuits it entirely for repeat visitors.
+    funnel_cache = FunnelCache()
     with ServingRuntime(
-        catalog, max_batch=16, max_wait=0.002, workers=1, funnel_width=24
+        catalog, max_batch=16, max_wait=0.002, workers=1, funnel_width=24,
+        source=QuantileFunnel(), funnel_cache=funnel_cache,
     ) as runtime:
-        def user_request(user_seed: int) -> Request:
-            quality = np.exp(rng.normal(scale=0.5, size=num_items))
-            return Request(quality=quality, k=k, mode="sample", seed=user_seed)
+        user_quality: dict[int, np.ndarray] = {}
+
+        def user_request(user: int, seed: int) -> Request:
+            # One quality vector per user per score generation — the
+            # contract the funnel cache keys on.
+            if user not in user_quality:
+                user_quality[user] = np.exp(rng.normal(scale=0.5, size=num_items))
+            return Request(
+                quality=user_quality[user], k=k, mode="sample", seed=seed,
+                user=user,
+            )
 
         # Live traffic: submits return immediately, futures resolve when
         # the micro-batch window fires.
-        futures = [runtime.submit(user_request(100 + u)) for u in range(8)]
+        futures = [runtime.submit(user_request(u, 100 + u)) for u in range(8)]
         for u, future in enumerate(futures):
             response = future.result(30)
             print(f"user {u}: v{response.version} items {response.items}")
 
         # A retrain finishes: hot-swap the factor snapshot under traffic.
-        inflight = [runtime.submit(user_request(200 + u)) for u in range(4)]
+        # Users 0-3 return: their funnel pools come from the cache.
+        inflight = [runtime.submit(user_request(u, 200 + u)) for u in range(4)]
         new_version = runtime.publish(
             synthetic_catalog(num_items, rank, seed=7)
         )
-        after = [runtime.submit(user_request(300 + u)) for u in range(4)]
+        user_quality.clear()  # retrained scores → fresh per-user quality
+        after = [runtime.submit(user_request(u, 300 + u)) for u in range(4)]
         print(f"\npublished version {new_version} while requests were in flight")
         for label, batch in (("admitted before", inflight), ("admitted after", after)):
             versions = sorted({f.result(30).version for f in batch})
@@ -67,6 +84,15 @@ def main() -> None:
             f"\nscheduler: {stats['submitted']} submitted in "
             f"{stats['batches']} batches (max size {stats['max_batch_size']}), "
             f"{stats['failed']} failed"
+        )
+        retrieval = stats["retrieval"]
+        print(
+            f"retrieval: source={retrieval['source']['source']} served "
+            f"{retrieval['source']['rows']} rows in "
+            f"{retrieval['source']['time_s'] * 1e3:.1f} ms; cache "
+            f"{retrieval['cache']['hits']} hits / "
+            f"{retrieval['cache']['misses']} misses "
+            f"({retrieval['cache']['invalidations']} invalidated on publish)"
         )
 
 

@@ -18,7 +18,10 @@ and **every substrate it stands on**, from scratch, on numpy:
   harnesses;
 * :mod:`repro.serving` — the batched multi-user k-DPP serving engine
   (catalog snapshots with cached dual spectra, request batching,
-  recommender bridging);
+  recommender bridging) and online runtime;
+* :mod:`repro.retrieval` — pluggable candidate generation for the
+  serving funnel (exact top-k, quantile-sketch funnels, IVF coarse
+  quantization, per-user funnel caching);
 * :mod:`repro.experiments` — runners regenerating every table and figure.
 
 Quickstart::
@@ -58,6 +61,7 @@ from . import (
     experiments,
     losses,
     models,
+    retrieval,
     serving,
     train,
     utils,
@@ -73,6 +77,7 @@ __all__ = [
     "losses",
     "train",
     "eval",
+    "retrieval",
     "serving",
     "experiments",
     "utils",

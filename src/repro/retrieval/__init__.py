@@ -1,0 +1,41 @@
+"""``repro.retrieval`` — pluggable candidate generation for k-DPP serving.
+
+The serving decomposition (quality funnel → low-rank diversity kernel)
+leaves candidate generation as the catalog-scale cost once the dual
+stage is cheap; this package makes the funnel a subsystem behind one
+:class:`~repro.retrieval.base.CandidateSource` interface:
+
+* :class:`~repro.retrieval.exact.ExactTopK` — exact vectorized per-shard
+  quality top-k (the parity oracle, PR 4's inlined funnel extracted);
+* :class:`~repro.retrieval.quantile.QuantileFunnel` — per-version
+  quantile sketches turn the batch funnel into one threshold mask, with
+  exact per-row fallback (and exact pools whenever the mask fills);
+* :class:`~repro.retrieval.ivf.IVFIndex` — k-means coarse quantization
+  of the factor rows, probed by per-request quality mass (approximate;
+  recall@funnel is measured by ``benchmarks/bench_retrieval.py``);
+* :class:`~repro.retrieval.cache.FunnelCache` — per-``(user, catalog
+  version, width)`` LRU of funnel pools for repeat visitors, invalidated
+  on publish.
+
+Sources are snapshot-duck-typed (they never import ``repro.serving``)
+and plug into :class:`~repro.serving.sharding.ShardedKDPPServer`,
+:class:`~repro.serving.runtime.ServingRuntime` and
+:class:`~repro.serving.bridge.RecommenderBridge` via their ``source`` /
+``funnel_cache`` parameters.
+"""
+
+from .base import CandidateSource, shard_offsets, shard_snapshots
+from .cache import FunnelCache
+from .exact import ExactTopK
+from .ivf import IVFIndex
+from .quantile import QuantileFunnel
+
+__all__ = [
+    "CandidateSource",
+    "ExactTopK",
+    "QuantileFunnel",
+    "IVFIndex",
+    "FunnelCache",
+    "shard_offsets",
+    "shard_snapshots",
+]

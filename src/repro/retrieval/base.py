@@ -1,0 +1,151 @@
+"""The candidate-generation contract behind the serving funnel.
+
+PR 4's load test showed catalog-scale serving is *funnel-bound*: before
+the k-DPP ever runs, every request pays an exact O(M) per-shard quality
+top-k (the paper's serving decomposition — quality scores ``q_u``
+funneling into the low-rank diversity kernel of Eq. 2 — makes candidate
+generation the dominant cost once the dual-kernel stage is cheap).
+This package makes that funnel a pluggable subsystem: a
+:class:`CandidateSource` turns a ``(B, M)`` batch of effective quality
+vectors into a ``(B, P)`` batch of candidate pools, and the serving
+layers (:class:`~repro.serving.sharding.ShardedKDPPServer`,
+:class:`~repro.serving.runtime.ServingRuntime`,
+:class:`~repro.serving.bridge.RecommenderBridge`) accept any
+implementation:
+
+* :class:`~repro.retrieval.exact.ExactTopK` — the PR 4 vectorized
+  per-shard ``argpartition``, extracted here as the parity oracle;
+* :class:`~repro.retrieval.quantile.QuantileFunnel` — per-shard quality
+  quantile sketches (a fixed item subsample per catalog version) turn a
+  batch's funnel into one vectorized threshold mask, with an exact
+  per-row fallback when the mask under-fills the funnel width;
+* :class:`~repro.retrieval.ivf.IVFIndex` — a k-means coarse quantizer
+  over the catalog's factor rows, probing the top cells by per-request
+  quality mass (the genuinely approximate source — recall@funnel is
+  measured, not guaranteed).
+
+Sources are deliberately **snapshot-duck-typed**: they read catalogs
+through ``num_items`` / ``version`` and the per-version
+``extension(key, build)`` hook that both
+:class:`~repro.serving.catalog.CatalogSnapshot` and
+:class:`~repro.serving.sharding.ShardedSnapshot` expose, plus the
+optional ``offsets`` / ``shards`` attributes of the sharded flavor — so
+this package never imports ``repro.serving`` and one source serves both
+catalog shapes (a monolithic snapshot is treated as a single shard).
+
+Pool contract (what :meth:`CandidateSource.pools` must return): an
+``(B, P)`` int64 array of **global item ids**; per shard, each row holds
+``min(width, shard_size)`` distinct ids ordered by descending quality
+(ties broken arbitrarily), shards concatenated in shard order — exactly
+the layout of PR 4's inlined funnel, so the exact source stays
+bit-compatible with it and approximate sources stay interchangeable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+__all__ = ["CandidateSource", "shard_offsets", "shard_snapshots"]
+
+
+def shard_offsets(snapshot) -> np.ndarray:
+    """Shard boundaries of either catalog flavor.
+
+    :class:`~repro.serving.sharding.ShardedSnapshot` carries explicit
+    ``offsets``; a monolithic :class:`~repro.serving.catalog.CatalogSnapshot`
+    is one shard spanning the whole item axis.
+    """
+    offsets = getattr(snapshot, "offsets", None)
+    if offsets is not None:
+        return np.asarray(offsets, dtype=np.int64)
+    return np.array([0, snapshot.num_items], dtype=np.int64)
+
+
+def shard_snapshots(snapshot) -> tuple:
+    """The per-shard snapshots of either catalog flavor (self if monolithic).
+
+    Per-shard index builders (IVF's k-means state) hang their per-version
+    caches off each shard snapshot's ``extension`` hook through this.
+    """
+    shards = getattr(snapshot, "shards", None)
+    if shards is not None:
+        return tuple(shards)
+    return (snapshot,)
+
+
+class CandidateSource:
+    """Interface: a batched quality funnel over a catalog snapshot.
+
+    Subclasses implement :meth:`_pools`; the public :meth:`pools` wraps
+    it with argument validation and thread-safe stats accounting (the
+    micro-batch runtime calls sources from worker threads), so every
+    implementation reports comparable ``batches`` / ``rows`` /
+    ``fallback_rows`` / ``time_s`` counters — the retrieval benchmark
+    reads funnel time from here and queue time from the
+    :class:`~repro.serving.scheduler.MicroBatcher` stats to split the
+    two costs.
+    """
+
+    #: short identifier used in stats, benchmarks and cache diagnostics
+    name = "base"
+
+    def __init__(self) -> None:
+        self._stats_lock = threading.Lock()
+        self._batches = 0
+        self._rows = 0
+        self._fallback_rows = 0
+        self._time_s = 0.0
+
+    # ------------------------------------------------------------------
+    def pools(self, quality: np.ndarray, width: int, snapshot) -> np.ndarray:
+        """Candidate pools for a request batch (see the pool contract).
+
+        ``quality`` is the ``(B, M)`` stack of effective (exclusion-
+        zeroed) quality vectors; ``width`` is the per-shard candidate
+        budget, clipped to each shard's size.
+        """
+        quality = np.asarray(quality, dtype=np.float64)
+        if quality.ndim != 2 or quality.shape[1] != snapshot.num_items:
+            raise ValueError(
+                f"quality stack must be (B, {snapshot.num_items}), "
+                f"got {quality.shape}"
+            )
+        if width < 1:
+            raise ValueError(f"funnel width must be positive, got {width}")
+        start = time.perf_counter()
+        out, fallbacks = self._pools(quality, width, snapshot)
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            self._batches += 1
+            self._rows += quality.shape[0]
+            self._fallback_rows += fallbacks
+            self._time_s += elapsed
+        return out
+
+    def _pools(
+        self, quality: np.ndarray, width: int, snapshot
+    ) -> tuple[np.ndarray, int]:
+        """Implementation hook: return ``(pools, fallback_row_count)``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Counters snapshot: funnel calls, rows, exact fallbacks, time."""
+        with self._stats_lock:
+            return {
+                "source": self.name,
+                "batches": self._batches,
+                "rows": self._rows,
+                "fallback_rows": self._fallback_rows,
+                "time_s": self._time_s,
+            }
+
+    def reset_stats(self) -> None:
+        with self._stats_lock:
+            self._batches = 0
+            self._rows = 0
+            self._fallback_rows = 0
+            self._time_s = 0.0

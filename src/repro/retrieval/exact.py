@@ -1,0 +1,37 @@
+"""The exact per-shard top-k funnel — PR 4's inlined path, as a source.
+
+This is the parity oracle of the retrieval subsystem: pool membership
+*and* within-shard ordering are exact (descending quality, stable under
+the same tie-breaking as :func:`~repro.utils.topk.top_k_indices`), so a
+:class:`~repro.serving.sharding.ShardedKDPPServer` running this source
+reproduces the pre-subsystem funnel bit for bit — including identical
+seeded samples downstream.  Cost: one row-wise ``argpartition`` +
+``argsort`` per shard over the full ``(B, shard_size)`` quality slice,
+the O(M)-per-request scan the approximate sources exist to avoid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.topk import top_k_indices_rows
+from .base import CandidateSource, shard_offsets
+
+__all__ = ["ExactTopK"]
+
+
+class ExactTopK(CandidateSource):
+    """Exact vectorized per-shard quality top-``width`` candidate pools."""
+
+    name = "exact"
+
+    def _pools(
+        self, quality: np.ndarray, width: int, snapshot
+    ) -> tuple[np.ndarray, int]:
+        offsets = shard_offsets(snapshot)
+        parts = []
+        for s in range(offsets.shape[0] - 1):
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            local_width = min(width, hi - lo)
+            parts.append(top_k_indices_rows(quality[:, lo:hi], local_width) + lo)
+        return np.concatenate(parts, axis=1), 0

@@ -1,0 +1,199 @@
+"""IVF coarse quantization over the catalog's factor rows.
+
+The genuinely approximate candidate source: a k-means coarse quantizer
+partitions each shard's factor rows ``v_i ∈ R^r`` into cells (the
+classic inverted-file layout of ANN retrieval), and a request probes
+only the ``nprobe`` cells with the highest **quality mass**
+``Σ_{i ∈ cell} q_ui`` — the cells where the user's Eq. 2 quality
+concentrates.  Survivors are the union of the probed cells' members,
+cut to the per-shard funnel width by exact quality top-k *within the
+union*.
+
+Why mass works: serving quality comes from trained score models whose
+geometry is the same factor space the quantizer partitions (Eq. 2's
+kernel couples quality and factors item-wise), so a user's high-quality
+items cluster into few cells and probing by mass recovers most of the
+exact funnel — recall@funnel is a measured property of the workload,
+not a guarantee, which is exactly why the retrieval benchmark and tests
+track it (≥ 0.95 on the structured synthetic catalogs) together with
+the end-to-end NDCG delta.
+
+Index build is numpy-only Lloyd k-means, seeded per catalog version and
+cached on each shard snapshot's per-version ``extension`` hook — the
+first batch after a hot-swap pays the build, every later batch reads
+it.  Per-request probe cost: one ``reduceat`` quality-mass pass
+(O(shard_size) adds, no selection), one tiny ``(B, cells)`` partition,
+and per-row unions of a few cells' member lists.  Shards too small to
+quantize usefully fall back to the exact funnel wholesale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.topk import top_k_indices_rows
+from .base import CandidateSource, shard_offsets, shard_snapshots
+
+__all__ = ["IVFIndex"]
+
+
+class _ShardIndex:
+    """Frozen k-means state of one shard: members grouped by cell."""
+
+    __slots__ = ("permutation", "starts", "sizes", "num_cells")
+
+    def __init__(self, labels: np.ndarray, num_cells: int) -> None:
+        # Stable sort groups items by cell; empty cells are dropped so
+        # the reduceat boundaries below are strictly increasing.
+        sizes = np.bincount(labels, minlength=num_cells)
+        keep = np.flatnonzero(sizes > 0)
+        self.permutation = np.argsort(labels, kind="stable")
+        self.sizes = sizes[keep]
+        self.starts = np.concatenate(([0], np.cumsum(self.sizes)[:-1]))
+        self.num_cells = int(keep.shape[0])
+
+    def members(self, cell: int) -> np.ndarray:
+        start = self.starts[cell]
+        return self.permutation[start : start + self.sizes[cell]]
+
+
+def _kmeans_labels(
+    factors: np.ndarray, num_cells: int, iters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Plain Lloyd iterations; empty cells re-seeded to random rows."""
+    num_rows = factors.shape[0]
+    centers = factors[rng.choice(num_rows, size=num_cells, replace=False)].copy()
+    labels = np.zeros(num_rows, dtype=np.int64)
+    for _ in range(max(iters, 1)):
+        # Nearest center in L2 == argmax of x·c - |c|²/2.
+        logits = factors @ centers.T - 0.5 * (centers**2).sum(axis=1)[None, :]
+        labels = np.argmax(logits, axis=1)
+        counts = np.bincount(labels, minlength=num_cells)
+        sums = np.zeros_like(centers)
+        np.add.at(sums, labels, factors)
+        filled = counts > 0
+        centers[filled] = sums[filled] / counts[filled, None]
+        empty = np.flatnonzero(~filled)
+        if empty.size:
+            centers[empty] = factors[
+                rng.choice(num_rows, size=empty.size, replace=False)
+            ]
+    return labels
+
+
+class IVFIndex(CandidateSource):
+    """Quality-mass-probed inverted-file candidate source.
+
+    Parameters
+    ----------
+    num_cells:
+        Cells per shard; default ``round(sqrt(shard_size))`` (clipped to
+        ``[4, shard_size]``), the standard IVF balance point between
+        probe cost and cell granularity.
+    nprobe:
+        Cells probed per request per shard; default ``ceil(cells / 8)``.
+        More probes → higher recall, more union work.
+    kmeans_iters / seed:
+        Lloyd iterations and the base seed of the version-keyed build
+        RNG (version ``v`` builds from ``(seed, v)``).
+    min_shard_items:
+        Shards below this size skip quantization and serve exactly.
+    """
+
+    name = "ivf"
+
+    def __init__(
+        self,
+        num_cells: int | None = None,
+        nprobe: int | None = None,
+        kmeans_iters: int = 6,
+        seed: int = 0,
+        min_shard_items: int = 256,
+    ) -> None:
+        super().__init__()
+        if num_cells is not None and num_cells < 1:
+            raise ValueError(f"num_cells must be positive, got {num_cells}")
+        if nprobe is not None and nprobe < 1:
+            raise ValueError(f"nprobe must be positive, got {nprobe}")
+        if kmeans_iters < 1:
+            raise ValueError(f"kmeans_iters must be positive, got {kmeans_iters}")
+        self.num_cells = num_cells
+        self.nprobe = nprobe
+        self.kmeans_iters = int(kmeans_iters)
+        self.seed = int(seed)
+        self.min_shard_items = int(min_shard_items)
+
+    # ------------------------------------------------------------------
+    def _shard_index(self, shard) -> _ShardIndex | None:
+        """The shard's per-version k-means state (None = serve exactly)."""
+        key = (
+            "ivf-index",
+            self.num_cells,
+            self.kmeans_iters,
+            self.seed,
+            self.min_shard_items,
+        )
+
+        def build(snap) -> _ShardIndex | None:
+            size = snap.num_items
+            if size < self.min_shard_items:
+                return None
+            cells = (
+                self.num_cells
+                if self.num_cells is not None
+                else int(round(np.sqrt(size)))
+            )
+            cells = max(4, min(cells, size))
+            rng = np.random.default_rng([self.seed, snap.version])
+            labels = _kmeans_labels(snap.factors, cells, self.kmeans_iters, rng)
+            return _ShardIndex(labels, cells)
+
+        return shard.extension(key, build)
+
+    def _nprobe(self, index: _ShardIndex) -> int:
+        if self.nprobe is not None:
+            return min(self.nprobe, index.num_cells)
+        return max(1, -(-index.num_cells // 8))
+
+    # ------------------------------------------------------------------
+    def _pools(
+        self, quality: np.ndarray, width: int, snapshot
+    ) -> tuple[np.ndarray, int]:
+        offsets = shard_offsets(snapshot)
+        shards = shard_snapshots(snapshot)
+        batch = quality.shape[0]
+        parts = []
+        fallback_rows = 0
+        for s, shard in enumerate(shards):
+            lo, hi = int(offsets[s]), int(offsets[s + 1])
+            size = hi - lo
+            local_width = min(width, size)
+            shard_quality = quality[:, lo:hi]
+            index = self._shard_index(shard)
+            if index is None or index.num_cells <= self._nprobe(index):
+                parts.append(top_k_indices_rows(shard_quality, local_width) + lo)
+                continue
+            nprobe = self._nprobe(index)
+            # Quality mass per cell: one segment-sum over the cell-grouped
+            # permutation of the shard's quality slice.
+            grouped = shard_quality[:, index.permutation]
+            mass = np.add.reduceat(grouped, index.starts, axis=1)
+            probed = np.argpartition(-mass, nprobe - 1, axis=1)[:, :nprobe]
+            part = np.empty((batch, local_width), dtype=np.int64)
+            for b in range(batch):
+                union = np.concatenate(
+                    [index.members(cell) for cell in probed[b]]
+                )
+                if union.shape[0] < local_width:
+                    fallback_rows += 1
+                    part[b] = top_k_indices_rows(
+                        shard_quality[b : b + 1], local_width
+                    )[0]
+                    continue
+                values = shard_quality[b, union]
+                if union.shape[0] > local_width:
+                    keep = np.argpartition(-values, local_width - 1)[:local_width]
+                    union, values = union[keep], values[keep]
+                part[b] = union[np.argsort(-values, kind="stable")]
+            parts.append(part + lo)
+        return np.concatenate(parts, axis=1), fallback_rows

@@ -18,8 +18,11 @@ into a full serving runtime:
   ``serve_sequential`` (the benchmark baseline);
 * :class:`~repro.serving.sharding.ShardedCatalog` /
   :class:`~repro.serving.sharding.ShardedKDPPServer` — catalogs ≥10⁵
-  items, partitioned on the item axis and served by a per-shard quality
-  top-k funnel into one exact k-DPP over the merged candidate pool;
+  items, partitioned on the item axis and served by a pluggable
+  candidate-generation funnel (any ``repro.retrieval`` source — exact
+  top-k by default, quantile-sketch or IVF approximations at scale,
+  optionally short-circuited per user by a funnel cache) into one exact
+  k-DPP over the merged candidate pool;
 * :class:`~repro.serving.scheduler.MicroBatcher` — async admission:
   single ``submit()`` calls coalesce into engine batches under size and
   time windows on worker threads, returning futures;

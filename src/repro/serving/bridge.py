@@ -82,6 +82,13 @@ class RecommenderBridge:
     candidate_pool:
         When set, each request is restricted to the user's top-N items
         by quality — the candidate-slice serving path.
+    source / funnel_cache:
+        Candidate-generation plug-ins for the default sharded server
+        (any :class:`~repro.retrieval.base.CandidateSource`, an optional
+        :class:`~repro.retrieval.cache.FunnelCache`); requests built
+        here carry the user id, so the funnel cache keys naturally.
+        Rejected when an explicit ``server`` is passed — configure that
+        server directly instead.
     """
 
     def __init__(
@@ -93,6 +100,8 @@ class RecommenderBridge:
         temperature: float = 1.0,
         candidate_pool: int | None = None,
         cache_size: int = 256,
+        source=None,
+        funnel_cache=None,
     ) -> None:
         if catalog.num_items != model.num_items:
             raise ValueError(
@@ -109,9 +118,21 @@ class RecommenderBridge:
             # Mirror ServingRuntime's dispatch: a sharded catalog needs
             # the funnel server (the plain engine cannot read it).
             if isinstance(catalog, ShardedCatalog):
-                server = ShardedKDPPServer(catalog)
+                server = ShardedKDPPServer(
+                    catalog, source=source, funnel_cache=funnel_cache
+                )
+            elif source is not None or funnel_cache is not None:
+                raise ValueError(
+                    "candidate sources / funnel caches require a sharded "
+                    "catalog (the monolithic engine has no funnel stage)"
+                )
             else:
                 server = KDPPServer(catalog)
+        elif source is not None or funnel_cache is not None:
+            raise ValueError(
+                "pass source/funnel_cache either to the bridge (to build "
+                "the default server) or to your own server, not both"
+            )
         self.server = server
         self.known_items = known_items
         self.temperature = temperature
@@ -199,6 +220,7 @@ class RecommenderBridge:
             exclude=exclude,
             candidates=candidates,
             seed=seed,
+            user=int(user),
         )
 
     # ------------------------------------------------------------------

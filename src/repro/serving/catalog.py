@@ -31,10 +31,44 @@ import numpy as np
 
 from ..dpp.diversity_kernel import DiversityKernelLearner
 
-__all__ = ["CatalogSnapshot", "ItemCatalog"]
+__all__ = ["CatalogSnapshot", "ItemCatalog", "VersionedExtensions"]
+
+#: distinguishes "extension never built" from a legitimately-None build
+#: result (e.g. an IVF index declining a too-small shard)
+_UNBUILT = object()
 
 
-class CatalogSnapshot:
+class VersionedExtensions:
+    """Per-version ``extension(key, build)`` cache, shared by both
+    snapshot flavors (:class:`CatalogSnapshot` and
+    :class:`~repro.serving.sharding.ShardedSnapshot`).
+
+    The retrieval subsystem hangs its index structures here — a
+    :class:`~repro.retrieval.quantile.QuantileFunnel` sketch, an
+    :class:`~repro.retrieval.ivf.IVFIndex` k-means layout — so the
+    "built lazily, exactly once per version, invalidated by snapshot
+    creation" contract of the Gram/spectrum caches extends to any
+    per-version index without the snapshot knowing its type.  Hosts
+    provide ``self._lock``; ``build(snapshot)`` runs under it the first
+    time ``key`` (any hashable) is seen — ``None`` results included —
+    and later calls are lock-free reads.
+    """
+
+    _lock: threading.Lock
+
+    def extension(self, key, build):
+        extensions = self.__dict__.setdefault("_extensions", {})
+        value = extensions.get(key, _UNBUILT)
+        if value is _UNBUILT:
+            with self._lock:
+                if key in extensions:
+                    value = extensions[key]
+                else:
+                    value = extensions[key] = build(self)
+        return value
+
+
+class CatalogSnapshot(VersionedExtensions):
     """One immutable published version of the ``(M, r)`` factors ``V``.
 
     All derived state (Gram, dual spectrum, outer-product table) is

@@ -65,6 +65,13 @@ class ServingRuntime:
         :meth:`flush`).
     funnel_width / rerank_pool:
         Forwarded to the default server construction.
+    source / funnel_cache:
+        Candidate-generation plug-ins forwarded to the default
+        :class:`~repro.serving.sharding.ShardedKDPPServer` (ignored for
+        a monolithic catalog, which has no funnel): any
+        :class:`~repro.retrieval.base.CandidateSource` and an optional
+        :class:`~repro.retrieval.cache.FunnelCache`, which
+        :meth:`publish` invalidates eagerly on every hot-swap.
     """
 
     def __init__(
@@ -77,15 +84,31 @@ class ServingRuntime:
         clock: Callable[[], float] = time.monotonic,
         funnel_width: int = 32,
         rerank_pool: int = 100,
+        source=None,
+        funnel_cache=None,
     ) -> None:
         self.catalog = catalog
         if server is None:
             if isinstance(catalog, ShardedCatalog):
                 server = ShardedKDPPServer(
-                    catalog, funnel_width=funnel_width, rerank_pool=rerank_pool
+                    catalog,
+                    funnel_width=funnel_width,
+                    rerank_pool=rerank_pool,
+                    source=source,
+                    funnel_cache=funnel_cache,
+                )
+            elif source is not None or funnel_cache is not None:
+                raise ValueError(
+                    "candidate sources / funnel caches require a sharded "
+                    "catalog (the monolithic engine has no funnel stage)"
                 )
             else:
                 server = KDPPServer(catalog, rerank_pool=rerank_pool)
+        elif source is not None or funnel_cache is not None:
+            raise ValueError(
+                "pass source/funnel_cache either to the runtime (to build "
+                "the default server) or to your own server, not both"
+            )
         self.server = server
         self._batcher = MicroBatcher(
             self._serve_tagged,
@@ -126,9 +149,16 @@ class ServingRuntime:
         """Hot-swap retrained factors; returns the new catalog version.
 
         Safe under in-flight traffic: double-buffered inside the
-        catalog, and queued requests keep their admission snapshot.
+        catalog, and queued requests keep their admission snapshot.  An
+        attached funnel cache is invalidated down to the new version —
+        correctness never depends on it (cache keys carry the version),
+        but the displaced generation's pools are reclaimed eagerly.
         """
-        return self.catalog.publish(factors)
+        version = self.catalog.publish(factors)
+        cache = getattr(self.server, "funnel_cache", None)
+        if cache is not None:
+            cache.invalidate(keep_version=version)
+        return version
 
     @property
     def version(self) -> int:
@@ -153,6 +183,12 @@ class ServingRuntime:
     def stats(self) -> dict:
         stats = self._batcher.stats
         stats["catalog_version"] = self.catalog.version
+        retrieval = getattr(self.server, "retrieval_stats", None)
+        if retrieval is not None:
+            # Funnel time (source) vs queue time (admission_wait_*): the
+            # two halves of the pre-kernel request cost, split out so
+            # the retrieval benchmark can attribute wins correctly.
+            stats["retrieval"] = retrieval()
         return stats
 
     def close(self) -> None:

@@ -109,6 +109,14 @@ class MicroBatcher:
             "cancelled": 0,
             "batches": 0,
             "max_batch_size": 0,
+            # Admission accounting (in clock seconds): how deep the
+            # queue got, and how long dispatched requests sat in it —
+            # the "queue time" half of the pre-kernel cost, reported
+            # separately from funnel time by the retrieval benchmark.
+            "max_queue_depth": 0,
+            "dispatched": 0,
+            "admission_wait_total_s": 0.0,
+            "admission_wait_max_s": 0.0,
         }
         self._threads = [
             threading.Thread(
@@ -131,6 +139,8 @@ class MicroBatcher:
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
             self._pending.append(entry)
             self._stats["submitted"] += 1
+            if len(self._pending) > self._stats["max_queue_depth"]:
+                self._stats["max_queue_depth"] = len(self._pending)
             self._cond.notify()
         return future
 
@@ -144,8 +154,11 @@ class MicroBatcher:
 
     @property
     def stats(self) -> dict:
+        """Counter snapshot; ``queue_depth`` is the instantaneous value."""
         with self._cond:
-            return dict(self._stats)
+            snapshot = dict(self._stats)
+            snapshot["queue_depth"] = len(self._pending)
+            return snapshot
 
     # ------------------------------------------------------------------
     # Dispatch triggers
@@ -160,6 +173,16 @@ class MicroBatcher:
     def _pop_batch_locked(self) -> list[_Pending]:
         batch = self._pending[: self.max_batch]
         del self._pending[: self.max_batch]
+        # Admission latency is measured at dispatch: queue-entry to
+        # batch-formation, in injected-clock seconds (service time is
+        # the caller's to measure off the future).
+        now = self._clock()
+        for entry in batch:
+            wait = now - entry.admitted
+            self._stats["admission_wait_total_s"] += wait
+            if wait > self._stats["admission_wait_max_s"]:
+                self._stats["admission_wait_max_s"] = wait
+        self._stats["dispatched"] += len(batch)
         return batch
 
     # ------------------------------------------------------------------

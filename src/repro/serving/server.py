@@ -139,6 +139,12 @@ class Request:
     scores ``q_u`` (Eq. 2 / Eq. 13) — typically produced by a trained
     :class:`~repro.models.base.Recommender` through the
     :class:`~repro.serving.bridge.RecommenderBridge`.
+
+    ``user`` is an optional stable requester id.  The engine itself
+    ignores it; the sharded funnel's
+    :class:`~repro.retrieval.cache.FunnelCache` keys on it, under the
+    contract that one ``user`` id maps to one quality vector per catalog
+    version (the bridge guarantees this via its score snapshot).
     """
 
     quality: np.ndarray
@@ -148,6 +154,7 @@ class Request:
     candidates: np.ndarray | None = None
     seed: int | None = None
     rerank_pool: int | None = None
+    user: int | None = None
 
 
 @dataclass
@@ -214,9 +221,20 @@ class KDPPServer:
     ) -> _Resolved:
         num_items = snap.num_items
         validate_request_mode_and_k(request, index)
-        quality = effective_request_quality(request, index, num_items)
+        # The O(M) value scan runs on whatever can reach a kernel: the
+        # full vector for full-catalog (and topk-rerank, which ranks the
+        # whole vector) requests, but only the candidate slice for
+        # explicitly-sliced ones — funnel-lowered requests at catalog
+        # scale would otherwise pay two full passes per request to
+        # validate entries their k-DPP never reads (the slice scan
+        # happens below, once candidates are known).
+        sliced = request.candidates is not None and request.mode != "topk-rerank"
+        quality = effective_request_quality(
+            request, index, num_items, check_values=not sliced
+        )
         candidates = request.candidates
         mode = request.mode
+        local = None  # quality gathered at the candidate slice, once
         if mode == "topk-rerank":
             if candidates is not None:
                 raise ValueError(
@@ -227,6 +245,7 @@ class KDPPServer:
                 self.rerank_pool if request.rerank_pool is None else request.rerank_pool
             )
             candidates = top_k_indices(quality, max(pool, request.k))
+            local = quality[candidates]
             mode = "map"
         elif candidates is not None:
             candidates = np.asarray(candidates, dtype=np.int64)
@@ -238,6 +257,11 @@ class KDPPServer:
                 raise ValueError(
                     f"request {index}: candidate ids must be in [0, {num_items})"
                 )
+            local = quality[candidates]
+            if not np.all(np.isfinite(local)) or np.any(local < 0):
+                raise ValueError(
+                    f"request {index}: quality must be finite and non-negative"
+                )
         ground = num_items if candidates is None else candidates.shape[0]
         if request.k > ground:
             raise ValueError(
@@ -247,9 +271,7 @@ class KDPPServer:
         # ground set is the positive-quality slice; catching k overruns
         # here turns an opaque downstream eigensolver/ESP failure into a
         # request-indexed error before any batch work starts.
-        effective = int(
-            np.count_nonzero(quality if candidates is None else quality[candidates])
-        )
+        effective = int(np.count_nonzero(quality if local is None else local))
         if request.k > effective:
             raise ValueError(
                 f"request {index}: k={request.k} exceeds the effective "

@@ -8,15 +8,24 @@ item axis into contiguous per-shard :class:`CatalogSnapshot` slices, and
 :class:`ShardedKDPPServer` serves them with a **shard-then-batch
 funnel**:
 
-1. every request's per-item quality is split along the shard boundaries
-   and each shard contributes its local top-``w`` items by quality (two
-   vectorized passes per shard for a whole request batch,
-   :func:`~repro.utils.topk.top_k_indices_rows`);
+1. every request's per-item quality funnels through a pluggable
+   :class:`~repro.retrieval.base.CandidateSource` — by default the
+   exact per-shard top-``w`` (:class:`~repro.retrieval.exact.ExactTopK`,
+   two vectorized passes per shard for a whole request batch), or the
+   approximate quantile-sketch / IVF sources of ``repro.retrieval`` —
+   optionally short-circuited per user by a
+   :class:`~repro.retrieval.cache.FunnelCache`;
 2. the per-shard winners are merged into one candidate pool per request
    (disjoint global ids, shard order);
 3. one **exact** k-DPP — Liu/Walder/Xie's LkP semantics, via the same
    batched dual build + stacked ``eigh`` + projector samplers the
    engine uses for candidate slices — runs over the merged pool.
+
+The k-DPP stage is exact for *every* source: approximation, when
+chosen, lives entirely in pool membership (step 1), which is why
+recall@funnel is the one number that characterizes an approximate
+source end to end (``benchmarks/bench_retrieval.py`` measures it along
+with the NDCG delta).
 
 Because the per-pool duals stay ``r × r`` (Gartrell/Paquet/Koenigstein's
 low-rank construction), step 3 costs the same as serving a small
@@ -51,8 +60,10 @@ from typing import Sequence
 
 import numpy as np
 
-from ..utils.topk import top_k_indices, top_k_indices_rows
-from .catalog import CatalogSnapshot
+from ..retrieval import CandidateSource, ExactTopK, FunnelCache
+from ..retrieval.cache import exclusion_token
+from ..utils.topk import top_k_indices
+from .catalog import CatalogSnapshot, VersionedExtensions
 from .server import (
     KDPPServer,
     Request,
@@ -63,7 +74,7 @@ from .server import (
 __all__ = ["ShardedCatalog", "ShardedSnapshot", "ShardedKDPPServer"]
 
 
-class ShardedSnapshot:
+class ShardedSnapshot(VersionedExtensions):
     """One immutable published generation of all shard snapshots.
 
     Exposes the same read surface the serving engine needs from a
@@ -137,21 +148,12 @@ class ShardedSnapshot:
         contributes its ``min(width, shard size)`` highest-quality items
         per request (descending within a shard), reported as global ids
         and concatenated in shard order — every request's merged
-        candidate pool is one row of the ``(B, P)`` result.
+        candidate pool is one row of the ``(B, P)`` result.  This is
+        :class:`~repro.retrieval.exact.ExactTopK` (where the PR 4
+        inlined implementation moved), kept as a snapshot method for
+        direct callers and the parity tests.
         """
-        quality = np.asarray(quality, dtype=np.float64)
-        if quality.ndim != 2 or quality.shape[1] != self.num_items:
-            raise ValueError(
-                f"quality stack must be (B, {self.num_items}), got {quality.shape}"
-            )
-        if width < 1:
-            raise ValueError(f"funnel width must be positive, got {width}")
-        pools = []
-        for s in range(self.num_shards):
-            lo, hi = int(self.offsets[s]), int(self.offsets[s + 1])
-            local_width = min(width, hi - lo)
-            pools.append(top_k_indices_rows(quality[:, lo:hi], local_width) + lo)
-        return np.concatenate(pools, axis=1)
+        return ExactTopK().pools(quality, width, self)
 
 
 class ShardedCatalog:
@@ -244,7 +246,15 @@ class ShardedKDPPServer(KDPPServer):
     exact global top-``rerank_pool`` of the union — per-shard top-N
     contains global top-N, so for tie-free qualities the rerank pool
     matches the monolithic server's item for item (exact ties at the
-    cutoff may resolve to different, equally-ranked members).
+    cutoff may resolve to different, equally-ranked members).  With an
+    approximate ``source`` the same global re-selection runs over the
+    approximate union instead.
+
+    ``source`` picks the candidate-generation implementation (default:
+    :class:`~repro.retrieval.exact.ExactTopK`, which keeps this server
+    bit-identical to the pre-subsystem funnel).  ``funnel_cache``
+    short-circuits the source for requests that carry a ``user`` id:
+    repeat visitors within one catalog version reuse their pool.
     """
 
     def __init__(
@@ -252,22 +262,74 @@ class ShardedKDPPServer(KDPPServer):
         catalog: ShardedCatalog,
         funnel_width: int = 32,
         rerank_pool: int = 100,
+        source: CandidateSource | None = None,
+        funnel_cache: FunnelCache | None = None,
     ) -> None:
         super().__init__(catalog, rerank_pool=rerank_pool)  # type: ignore[arg-type]
         if funnel_width < 1:
             raise ValueError(f"funnel_width must be positive, got {funnel_width}")
         self.funnel_width = funnel_width
+        self.source = source if source is not None else ExactTopK()
+        self.funnel_cache = funnel_cache
 
     # ------------------------------------------------------------------
+    def _funnel_pools(
+        self,
+        members: list[tuple[int, Request, np.ndarray]],
+        width: int,
+        snap: ShardedSnapshot,
+    ) -> list[np.ndarray]:
+        """One pool per member: funnel cache first, then the source.
+
+        Cache hits (requests carrying a ``user`` id with a pool already
+        memoized for this catalog version and width) skip candidate
+        generation entirely; the misses run through ``self.source`` as
+        one stacked batch and are written back for the next visit.
+        """
+        cache = self.funnel_cache
+        pools: list[np.ndarray | None] = [None] * len(members)
+        miss_rows: list[int] = []
+        tokens: list[int | None] = [None] * len(members)
+        for row, (_, request, quality) in enumerate(members):
+            if cache is not None and request.user is not None:
+                # Exclusions are zeroed into the quality the funnel
+                # sees, so they are part of the pool's identity — the
+                # token keys them exactly (the strided quality
+                # fingerprint alone could miss a few zeroed entries).
+                tokens[row] = exclusion_token(request.exclude)
+                hit = cache.get(
+                    request.user, snap.version, width, quality, tokens[row]
+                )
+                if hit is not None:
+                    pools[row] = hit
+                    continue
+            miss_rows.append(row)
+        if miss_rows:
+            stacked = np.stack([members[row][2] for row in miss_rows])
+            fresh = self.source.pools(stacked, width, snap)
+            for out_row, row in enumerate(miss_rows):
+                pools[row] = fresh[out_row]
+                _, request, quality = members[row]
+                if cache is not None and request.user is not None:
+                    cache.put(
+                        request.user,
+                        snap.version,
+                        width,
+                        fresh[out_row],
+                        quality,
+                        tokens[row],
+                    )
+        return pools  # type: ignore[return-value]
+
     def _lower(self, requests: Sequence[Request], snap: ShardedSnapshot) -> list[Request]:
         """Rewrite every request as an explicit merged-pool slice.
 
         Funnel pools for same-width requests — rerank included — are
-        built with one vectorized per-shard top-k over the stacked
-        qualities.  Field validation reuses the engine's helpers; the
-        O(M) finiteness/negativity scan runs once, in ``_resolve`` on
-        the lowered request (non-finite entries can transiently enter a
-        pool, but never reach a kernel).
+        built in one :meth:`CandidateSource.pools` batch over the
+        stacked qualities (cache hits excepted).  Field validation
+        reuses the engine's helpers; the O(M) finiteness/negativity scan
+        runs once, in ``_resolve`` on the lowered request (non-finite
+        entries can transiently enter a pool, but never reach a kernel).
         """
         lowered: list[Request | None] = [None] * len(requests)
         by_width: dict[int, list[tuple[int, Request, np.ndarray]]] = {}
@@ -292,12 +354,11 @@ class ShardedKDPPServer(KDPPServer):
                 width = max(self.funnel_width, request.k)
             by_width.setdefault(width, []).append((index, request, quality))
         for width, members in by_width.items():
-            stacked = np.stack([quality for _, _, quality in members])
-            pools = snap.shard_topk(stacked, width)
+            pools = self._funnel_pools(members, width, snap)
             for row, (index, request, quality) in enumerate(members):
                 if request.mode == "topk-rerank":
-                    # Exact global top-N: per-shard top-N covers it, so
-                    # rank the union and keep the global winners.
+                    # Exact global top-N over the union: per-shard top-N
+                    # covers it, so rank the union and keep the winners.
                     union = pools[row]
                     pool = union[top_k_indices(quality[union], width)]
                     mode = "map"
@@ -309,8 +370,19 @@ class ShardedKDPPServer(KDPPServer):
                     mode=mode,
                     candidates=pool,
                     seed=request.seed,
+                    user=request.user,
                 )
         return lowered  # type: ignore[return-value]
+
+    def retrieval_stats(self) -> dict:
+        """Funnel-side counters: the source's batches/rows/fallbacks/time
+        plus the cache's hits/misses (None when no cache is attached) —
+        what the retrieval benchmark reads to split funnel time from
+        queue time."""
+        return {
+            "source": self.source.stats(),
+            "cache": None if self.funnel_cache is None else self.funnel_cache.stats(),
+        }
 
     @staticmethod
     def _restamp_modes(requests: Sequence[Request], responses: list) -> list:

@@ -35,9 +35,10 @@ def top_k_indices_rows(scores: np.ndarray, k: int) -> np.ndarray:
     """Row-wise :func:`top_k_indices` for a ``(B, M)`` score stack.
 
     One ``argpartition`` + one ``argsort`` over the whole stack instead
-    of B python-level calls — the sharded serving funnel runs this per
-    shard to build every request's candidate pool in two vectorized
-    passes.  Rows are assumed finite (serving quality vectors are);
+    of B python-level calls — :class:`~repro.retrieval.exact.ExactTopK`
+    runs this per shard to build every request's candidate pool in two
+    vectorized passes (and the approximate sources fall back to it row
+    by row).  Rows are assumed finite (serving quality vectors are);
     ``k`` must not exceed the row length.  Returns ``(B, k)`` indices in
     descending score order per row.
     """

@@ -45,7 +45,7 @@ if __package__ is None and __name__ == "__main__":
 import numpy as np
 
 from repro.retrieval import ExactTopK, FunnelCache, IVFIndex, QuantileFunnel
-from repro.serving import Request, ShardedCatalog, ShardedKDPPServer
+from repro.serving import Request, ServingConfig, ShardedCatalog, ShardedKDPPServer
 
 
 def _smoke() -> bool:
@@ -175,7 +175,9 @@ def run_recall_and_ndcg(settings) -> dict:
         Request(quality=quality[b], k=k, mode="map")
         for b in range(quality.shape[0])
     ]
-    exact_server = ShardedKDPPServer(catalog, funnel_width=width, source=exact)
+    exact_server = ShardedKDPPServer(
+        catalog, config=ServingConfig(funnel_width=width, source=exact)
+    )
     exact_responses = exact_server.serve(requests)
     exact_ndcg = float(
         np.mean(
@@ -188,7 +190,9 @@ def run_recall_and_ndcg(settings) -> dict:
     results = {"exact_ndcg": exact_ndcg}
     for source in (QuantileFunnel(), IVFIndex()):
         pools = source.pools(quality, width, snapshot)
-        server = ShardedKDPPServer(catalog, funnel_width=width, source=source)
+        server = ShardedKDPPServer(
+            catalog, config=ServingConfig(funnel_width=width, source=source)
+        )
         responses = server.serve(requests)
         ndcg = float(
             np.mean(
@@ -220,7 +224,10 @@ def run_funnel_cache(settings) -> dict:
     cache = FunnelCache()
     source = QuantileFunnel()
     server = ShardedKDPPServer(
-        catalog, funnel_width=settings["width"], source=source, funnel_cache=cache
+        catalog,
+        config=ServingConfig(
+            funnel_width=settings["width"], source=source, funnel_cache=cache
+        ),
     )
     requests = [
         Request(quality=quality[b], k=settings["k"], mode="sample", seed=b, user=b)

@@ -62,6 +62,7 @@ from repro.serving import (
     ItemCatalog,
     KDPPServer,
     Request,
+    ServingConfig,
     ServingRuntime,
     ShardedCatalog,
 )
@@ -183,14 +184,16 @@ def run_admission(
     """One closed-loop run against a sharded runtime with given windows."""
     factors, quality = make_world(settings)
     catalog = ShardedCatalog(factors, num_shards=settings["num_shards"])
-    with ServingRuntime(
+    with ServingRuntime.from_config(
         catalog,
-        max_batch=max_batch,
-        max_wait=max_wait,
-        workers=1,
-        funnel_width=settings["funnel_width"],
-        source=source,
-        funnel_cache=funnel_cache,
+        ServingConfig(
+            max_batch=max_batch,
+            max_wait=max_wait,
+            workers=1,
+            funnel_width=settings["funnel_width"],
+            source=source,
+            funnel_cache=funnel_cache,
+        ),
     ) as runtime:
         runtime.serve_now(  # warm shard state outside the timed region
             [Request(quality=quality[0], k=settings["k"], mode="sample", seed=1)]
@@ -267,8 +270,9 @@ def run_sharded_vs_monolithic(settings) -> dict:
     ]
     results = {}
     sharded = ShardedCatalog(factors, num_shards=settings["num_shards"])
-    with ServingRuntime(
-        sharded, workers=0, funnel_width=settings["funnel_width"]
+    with ServingRuntime.from_config(
+        sharded,
+        ServingConfig(workers=0, funnel_width=settings["funnel_width"]),
     ) as runtime:
         runtime.serve_now(requests[:1])  # warm
         times = []

@@ -1,0 +1,358 @@
+"""Session-aware serving: multi-page throughput and the alpha trade-off.
+
+PR 6 grew the request model into sessions (per-request ``alpha``
+diversity strength, cross-page ``history`` conditioning, constrained
+MAP).  This benchmark prices the two headline features:
+
+* **multi-page session throughput** — a cohort of users paging through
+  a sharded catalog, session-conditioned serving (``history`` deflates
+  the kernel, O(r²·h) per request) against the stateless baseline that
+  merely excludes shown items.  Reported per page and as requests/s,
+  plus the *cross-page similarity* each strategy leaves behind (mean
+  |cos| between consecutive pages' factor rows — the quantity
+  conditioning exists to push down);
+* **alpha sweep** — greedy-MAP slates across ``alpha``, scoring
+  quality-gain NDCG@k against intra-list similarity (mean pairwise
+  |cos| inside a slate).  Raising ``alpha`` flattens quality, so
+  intra-list similarity must not increase — the CI-guarded invariant.
+
+Entry points:
+
+* ``pytest benchmarks/bench_session.py`` — guards: the alpha sweep's
+  intra-list similarity is non-increasing from the lowest to the
+  highest alpha, sessions never repeat an item across pages, and every
+  page fills its slate.
+* ``python benchmarks/bench_session.py [--output ...]`` — the JSON
+  baseline writer behind ``BENCH_session.json``.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) to shrink the
+workloads.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ is None and __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.serving import (
+    Request,
+    ServingConfig,
+    Session,
+    ShardedCatalog,
+    ShardedKDPPServer,
+)
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _settings():
+    if _smoke():
+        return dict(
+            num_items=8_000, rank=16, users=8, pages=3, k=5, window=6,
+            funnel_width=24, num_shards=4, repeats=2,
+            alphas=(0.5, 1.0, 2.0, 4.0), alpha_users=8,
+        )
+    return dict(
+        num_items=40_000, rank=32, users=24, pages=4, k=8, window=10,
+        funnel_width=32, num_shards=8, repeats=3,
+        alphas=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0), alpha_users=24,
+    )
+
+
+def make_clustered_world(num_items, rank, users, clusters=12, seed=1):
+    """Clustered factors with quality following the factor geometry —
+    the trained-model regime (same construction as bench_retrieval)."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(clusters, rank))
+    assignment = rng.integers(0, clusters, size=num_items)
+    factors = centers[assignment] + 0.35 * rng.normal(size=(num_items, rank))
+    factors /= np.linalg.norm(factors, axis=1, keepdims=True)
+    user_vectors = centers[rng.integers(0, clusters, size=users)]
+    user_vectors += 0.2 * rng.normal(size=(users, rank))
+    quality = np.exp(2.0 * (factors @ user_vectors.T).T)
+    return factors, quality
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def intra_list_similarity(items, factors) -> float:
+    """Mean pairwise |cos| of the slate's (unit-norm) factor rows."""
+    rows = factors[np.asarray(items, dtype=np.int64)]
+    if rows.shape[0] < 2:
+        return 0.0
+    sims = np.abs(rows @ rows.T)
+    n = rows.shape[0]
+    return float((sims.sum() - n) / (n * (n - 1)))
+
+
+def cross_page_similarity(previous, current, factors) -> float:
+    """Mean |cos| between one page's items and the previous page's."""
+    if not previous or not current:
+        return 0.0
+    a = factors[np.asarray(previous, dtype=np.int64)]
+    b = factors[np.asarray(current, dtype=np.int64)]
+    return float(np.abs(a @ b.T).mean())
+
+
+def quality_ndcg(items, quality_row, k) -> float:
+    """Quality-gain NDCG@k of a served slate (see bench_retrieval)."""
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    gains = quality_row[np.asarray(items[:k], dtype=np.int64)]
+    ideal = np.sort(quality_row)[::-1][:k]
+    return float(
+        (gains * discounts[: gains.shape[0]]).sum() / (ideal * discounts).sum()
+    )
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def serve_session_pages(server, quality, settings, conditioned: bool):
+    """One cohort paging ``pages`` times; returns per-user page lists.
+
+    ``conditioned=True`` is session serving (history deflates the
+    kernel, older pages fall back to exclusion via the window);
+    ``conditioned=False`` is the stateless baseline — shown items are
+    excluded so pages never repeat, but the kernel never learns what
+    the user already saw.
+    """
+    users = quality.shape[0]
+    sessions = [
+        Session(user=u, window=settings["window"]) for u in range(users)
+    ]
+    pages: list[list[list[int]]] = [[] for _ in range(users)]
+    page_seconds = []
+    for _ in range(settings["pages"]):
+        if conditioned:
+            requests = [
+                sessions[u].request(quality[u], k=settings["k"], mode="map")
+                for u in range(users)
+            ]
+        else:
+            requests = [
+                Request(
+                    quality=quality[u],
+                    k=settings["k"],
+                    mode="map",
+                    exclude=(
+                        np.asarray(sessions[u].shown, dtype=np.int64)
+                        if sessions[u].shown
+                        else None
+                    ),
+                    user=u,
+                )
+                for u in range(users)
+            ]
+        start = time.perf_counter()
+        responses = server.serve(requests)
+        page_seconds.append(time.perf_counter() - start)
+        for u, response in enumerate(responses):
+            pages[u].append(list(response.items))
+            sessions[u].record(response)
+    return pages, page_seconds
+
+
+def run_session_throughput(settings) -> dict:
+    factors, quality = make_clustered_world(
+        settings["num_items"], settings["rank"], settings["users"]
+    )
+    catalog = ShardedCatalog(factors, num_shards=settings["num_shards"])
+    server = ShardedKDPPServer(
+        catalog, config=ServingConfig(funnel_width=settings["funnel_width"])
+    )
+    results = {}
+    for label, conditioned in (("session", True), ("stateless", False)):
+        best_pages, best_seconds = None, None
+        for _ in range(settings["repeats"]):
+            pages, seconds = serve_session_pages(
+                server, quality, settings, conditioned
+            )
+            if best_seconds is None or sum(seconds) < sum(best_seconds):
+                best_pages, best_seconds = pages, seconds
+        total_s = sum(best_seconds)
+        requests_served = settings["users"] * settings["pages"]
+        cross = [
+            cross_page_similarity(user_pages[p - 1], user_pages[p], factors)
+            for user_pages in best_pages
+            for p in range(1, len(user_pages))
+        ]
+        intra = [
+            intra_list_similarity(page, factors)
+            for user_pages in best_pages
+            for page in user_pages
+        ]
+        results[label] = {
+            "total_s": total_s,
+            "page_ms": [s * 1e3 for s in best_seconds],
+            "requests_per_s": requests_served / total_s,
+            "cross_page_similarity": float(np.mean(cross)),
+            "intra_list_similarity": float(np.mean(intra)),
+        }
+    results["conditioning_overhead"] = (
+        results["session"]["total_s"] / results["stateless"]["total_s"]
+    )
+    return results
+
+
+def run_alpha_sweep(settings) -> dict:
+    factors, quality = make_clustered_world(
+        settings["num_items"], settings["rank"], settings["alpha_users"], seed=3
+    )
+    catalog = ShardedCatalog(factors, num_shards=settings["num_shards"])
+    server = ShardedKDPPServer(
+        catalog, config=ServingConfig(funnel_width=settings["funnel_width"])
+    )
+    k = settings["k"]
+    sweep = {}
+    for alpha in settings["alphas"]:
+        responses = server.serve(
+            [
+                Request(quality=quality[u], k=k, mode="map", alpha=alpha)
+                for u in range(quality.shape[0])
+            ]
+        )
+        sweep[str(alpha)] = {
+            "ndcg": float(
+                np.mean(
+                    [
+                        quality_ndcg(r.items, quality[u], k)
+                        for u, r in enumerate(responses)
+                    ]
+                )
+            ),
+            "intra_list_similarity": float(
+                np.mean(
+                    [intra_list_similarity(r.items, factors) for r in responses]
+                )
+            ),
+        }
+    return sweep
+
+
+# ----------------------------------------------------------------------
+# pytest targets and CI guards
+# ----------------------------------------------------------------------
+def test_alpha_raises_diversity_monotonically():
+    """CI guard: higher alpha ⇒ intra-list similarity non-increasing
+    (lowest vs highest alpha, with float slack)."""
+    settings = _settings()
+    sweep = run_alpha_sweep(settings)
+    alphas = sorted(float(a) for a in sweep)
+    low, high = sweep[str(alphas[0])], sweep[str(alphas[-1])]
+    assert (
+        high["intra_list_similarity"]
+        <= low["intra_list_similarity"] + 1e-9
+    ), (
+        f"alpha={alphas[-1]} slates are less diverse than alpha={alphas[0]}: "
+        f"ILS {high['intra_list_similarity']:.4f} vs "
+        f"{low['intra_list_similarity']:.4f}"
+    )
+    # ... and sharpening quality must not cost NDCG.
+    assert low["ndcg"] >= high["ndcg"] - 1e-9
+
+
+def test_session_pages_fill_and_never_repeat():
+    settings = _settings()
+    factors, quality = make_clustered_world(
+        settings["num_items"], settings["rank"], settings["users"], seed=5
+    )
+    catalog = ShardedCatalog(factors, num_shards=settings["num_shards"])
+    server = ShardedKDPPServer(
+        catalog, config=ServingConfig(funnel_width=settings["funnel_width"])
+    )
+    pages, _ = serve_session_pages(server, quality, settings, conditioned=True)
+    for user_pages in pages:
+        flat = [item for page in user_pages for item in page]
+        assert len(flat) == len(set(flat))  # no cross-page repeats
+        for page in user_pages:
+            assert len(page) == settings["k"]  # window keeps rank alive
+
+
+# ----------------------------------------------------------------------
+# Standalone baseline writer
+# ----------------------------------------------------------------------
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON baseline here (default: print only)",
+    )
+    args = parser.parse_args(argv)
+    settings = _settings()
+
+    results = {
+        "workload": (
+            "session-aware serving: multi-page session throughput "
+            "(conditioned vs stateless paging) and the alpha "
+            "NDCG/intra-list-similarity trade-off"
+        ),
+        "settings": {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in settings.items()
+        },
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+    print("== multi-page session throughput ==")
+    throughput = run_session_throughput(settings)
+    results["session_throughput"] = {
+        label: (
+            {
+                key: (
+                    [round(v, 4) for v in value]
+                    if isinstance(value, list)
+                    else round(value, 6)
+                )
+                for key, value in entry.items()
+            }
+            if isinstance(entry, dict)
+            else round(entry, 4)
+        )
+        for label, entry in throughput.items()
+    }
+    for label in ("session", "stateless"):
+        entry = throughput[label]
+        print(
+            f"{label:>10}: {entry['requests_per_s']:8.1f} req/s  "
+            f"cross-page |cos| {entry['cross_page_similarity']:.4f}  "
+            f"intra-list |cos| {entry['intra_list_similarity']:.4f}"
+        )
+    print(
+        f"conditioning overhead: "
+        f"{throughput['conditioning_overhead']:.2f}x wall time"
+    )
+
+    print("\n== alpha sweep (greedy MAP) ==")
+    sweep = run_alpha_sweep(settings)
+    results["alpha_sweep"] = {
+        alpha: {key: round(value, 6) for key, value in entry.items()}
+        for alpha, entry in sweep.items()
+    }
+    for alpha, entry in sweep.items():
+        print(
+            f"alpha={float(alpha):5.2f}: NDCG@{settings['k']} "
+            f"{entry['ndcg']:.4f}  intra-list |cos| "
+            f"{entry['intra_list_similarity']:.4f}"
+        )
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nbaseline written to {args.output}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

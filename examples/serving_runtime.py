@@ -13,13 +13,24 @@ Request lifecycle::
              source — here a quantile-sketch funnel)
            → exact k-DPP on merged pool → versioned Response
 
+The whole stack is configured through one ``ServingConfig`` object
+(``ServingRuntime.from_config``), and the closing section demonstrates
+session-aware paging: a ``Session`` accumulates shown items so every
+next page is conditioned on — and diverse against — the pages before.
+
 Run:  python examples/serving_runtime.py
 """
 
 import numpy as np
 
 from repro.retrieval import FunnelCache, QuantileFunnel
-from repro.serving import Request, ServingRuntime, ShardedCatalog
+from repro.serving import (
+    Request,
+    ServingConfig,
+    ServingRuntime,
+    Session,
+    ShardedCatalog,
+)
 
 
 def synthetic_catalog(num_items: int, rank: int, seed: int) -> np.ndarray:
@@ -41,12 +52,14 @@ def main() -> None:
 
     # Candidate generation is pluggable (repro.retrieval): the quantile-
     # sketch funnel replaces the exact per-shard top-k scan, and the
-    # funnel cache short-circuits it entirely for repeat visitors.
+    # funnel cache short-circuits it entirely for repeat visitors.  One
+    # ServingConfig carries every infrastructure knob for the stack.
     funnel_cache = FunnelCache()
-    with ServingRuntime(
-        catalog, max_batch=16, max_wait=0.002, workers=1, funnel_width=24,
+    config = ServingConfig(
+        max_batch=16, max_wait=0.002, workers=1, funnel_width=24,
         source=QuantileFunnel(), funnel_cache=funnel_cache,
-    ) as runtime:
+    )
+    with ServingRuntime.from_config(catalog, config) as runtime:
         user_quality: dict[int, np.ndarray] = {}
 
         def user_request(user: int, seed: int) -> Request:
@@ -94,6 +107,22 @@ def main() -> None:
             f"{retrieval['cache']['misses']} misses "
             f"({retrieval['cache']['invalidations']} invalidated on publish)"
         )
+
+        # -------------------------------------------------------------
+        # Session-aware paging: one user scrolling three pages.  The
+        # Session records what was shown and conditions the next page's
+        # kernel on it, so pages are diverse *against each other* — and
+        # alpha>1 flattens quality for extra within-page diversity.
+        # -------------------------------------------------------------
+        print("\npaging one user through three session-conditioned pages:")
+        quality = np.exp(rng.normal(scale=0.5, size=num_items))
+        session = Session(user=99, alpha=1.5, window=10)
+        for page in range(3):
+            request = session.request(quality, k=k, mode="map")
+            response = runtime.submit(request).result(30)
+            session.record(response)
+            print(f"  page {page + 1}: {response.items}")
+        assert len(set(session.shown)) == len(session)  # never repeats
 
 
 if __name__ == "__main__":

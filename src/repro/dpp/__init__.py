@@ -65,7 +65,9 @@ from .kernels import (
 )
 from .map_inference import (
     batched_greedy_map_shared,
+    batched_greedy_map_shared_session,
     batched_greedy_map_stacked,
+    batched_greedy_map_stacked_session,
     greedy_map,
     greedy_map_reference,
 )
@@ -111,4 +113,6 @@ __all__ = [
     "greedy_map_reference",
     "batched_greedy_map_shared",
     "batched_greedy_map_stacked",
+    "batched_greedy_map_shared_session",
+    "batched_greedy_map_stacked_session",
 ]

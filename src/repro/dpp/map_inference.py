@@ -25,6 +25,8 @@ __all__ = [
     "greedy_map_reference",
     "batched_greedy_map_shared",
     "batched_greedy_map_stacked",
+    "batched_greedy_map_shared_session",
+    "batched_greedy_map_stacked_session",
 ]
 
 
@@ -244,6 +246,239 @@ def batched_greedy_map_stacked(
 
     return _batched_greedy_rounds(
         di2, row_factor, project, factor_stack.shape[2], k, epsilon
+    )
+
+
+def _batched_greedy_rounds_session(
+    di2: np.ndarray,
+    row_factor,
+    project,
+    rank: int,
+    k: int,
+    epsilon: float,
+    seeds: np.ndarray | None = None,
+    pins: list | None = None,
+    quota: list | None = None,
+) -> list[list[int]]:
+    """Constrained sibling of :func:`_batched_greedy_rounds`.
+
+    Serves the session-aware requests the plain driver cannot: Gram–
+    Schmidt state pre-seeded with conditioning directions, force-included
+    pins, and per-category minimum quotas.  Unconstrained groups keep the
+    original driver untouched, which is what pins the engine's
+    ``alpha=1`` / empty-history bit-parity guarantee.
+
+    ``di2`` must already be deflated against ``seeds`` (the wrappers
+    subtract the seed projections); ``seeds`` is a zero-padded
+    ``(B, s, r)`` stack of orthonormal directions per request (zero rows
+    are inert).  ``pins[b]`` is a local-id array of force-included items
+    — they occupy the front of request ``b``'s picks and their
+    directions are assumed to be part of ``seeds`` (so their gains are
+    zero and they are additionally hard-masked here).  ``quota[b]`` is
+    ``None`` or ``(categories, {category: minimum})`` with ``categories``
+    a local ``(N,)`` int array: whenever a request's remaining slots are
+    all needed to close quota deficits, its argmax is restricted to the
+    deficit categories.
+
+    Early-stop rule, uniform across constraints: a request's very first
+    pick (no pins) is always kept, matching the plain driver; every
+    later pick — quota-restricted or not — requires a gain of at least
+    ``epsilon``, so an unsatisfiable quota or an exhausted rank yields a
+    partial slate rather than padding with zero-gain items.
+    """
+    batch, _ = di2.shape
+    rows_index = np.arange(batch)
+    s_max = 0 if seeds is None else seeds.shape[1]
+    ortho = np.zeros((batch, s_max + k, rank), dtype=np.float64)
+    if seeds is not None:
+        ortho[:, :s_max] = seeds
+    filled = s_max
+    picks = np.full((batch, k), -1, dtype=np.int64)
+    counts = np.zeros(batch, dtype=np.int64)
+    cat_counts: list[dict | None] = [None] * batch
+    if quota is not None:
+        for b, spec in enumerate(quota):
+            if spec is not None:
+                cat_counts[b] = {}
+    if pins is not None:
+        for b, pinned in enumerate(pins):
+            if pinned is None or len(pinned) == 0:
+                continue
+            pinned = np.asarray(pinned, dtype=np.int64)
+            picks[b, : pinned.shape[0]] = pinned
+            counts[b] = pinned.shape[0]
+            di2[b, pinned] = -np.inf
+            if cat_counts[b] is not None:
+                categories = quota[b][0]
+                for item in pinned:
+                    cat = int(categories[item])
+                    cat_counts[b][cat] = cat_counts[b].get(cat, 0) + 1
+    active = counts < k
+    while np.any(active):
+        lasts = np.argmax(di2, axis=1)
+        gains = di2[rows_index, lasts]
+        if quota is not None:
+            for b in np.flatnonzero(active):
+                spec = quota[b]
+                if spec is None:
+                    continue
+                categories, minimums = spec
+                seen = cat_counts[b]
+                deficits = {
+                    cat: need - seen.get(cat, 0)
+                    for cat, need in minimums.items()
+                    if need - seen.get(cat, 0) > 0
+                }
+                if not deficits:
+                    continue
+                if sum(deficits.values()) >= k - counts[b]:
+                    # Every remaining slot is spoken for: restrict the
+                    # pick to categories still short of their minimum.
+                    allowed = np.isin(categories, list(deficits))
+                    row = np.where(allowed, di2[b], -np.inf)
+                    lasts[b] = int(np.argmax(row))
+                    gains[b] = row[lasts[b]]
+        # The first pick of a pin-less request is always kept (the plain
+        # driver's semantics); counts == 0 only ever holds then.
+        active &= (gains >= epsilon) | (counts == 0)
+        if not np.any(active):
+            break
+        chosen = rows_index[active]
+        picks[chosen, counts[active]] = lasts[active]
+        di2[chosen, lasts[active]] = -np.inf
+        counts[active] += 1
+        for b in chosen:
+            if cat_counts[b] is not None:
+                cat = int(quota[b][0][lasts[b]])
+                cat_counts[b][cat] = cat_counts[b].get(cat, 0) + 1
+        active &= counts < k
+        if not np.any(active):
+            break
+        di_last = np.sqrt(np.maximum(gains, epsilon))
+        residual = row_factor(lasts)
+        residual[~active] = 0.0
+        if filled:
+            previous = ortho[:, :filled]
+            overlaps = np.einsum("bjr,br->bj", previous, residual)
+            residual = residual - np.einsum("bj,bjr->br", overlaps, previous)
+        direction = residual / di_last[:, None]
+        ortho[:, filled] = direction
+        filled += 1
+        eis = project(direction)
+        di2 -= eis**2
+    return [picks[b, : counts[b]].tolist() for b in range(batch)]
+
+
+def _deflate_gains(di2: np.ndarray, projections: np.ndarray) -> np.ndarray:
+    """``di2 - Σ_s projections²``, clipped at zero (deflated squared
+    norms can dip a few ulp negative)."""
+    di2 = di2 - np.einsum("bsn,bsn->bn", projections, projections)
+    return np.clip(di2, 0.0, None, out=di2)
+
+
+def batched_greedy_map_shared_session(
+    diversity_factors: np.ndarray,
+    quality: np.ndarray,
+    k: int,
+    seeds: np.ndarray | None = None,
+    pins: list | None = None,
+    quota: list | None = None,
+    epsilon: float = 1e-10,
+) -> list[list[int]]:
+    """Session/constrained greedy MAP over one shared factor matrix.
+
+    Same kernel family as :func:`batched_greedy_map_shared` (request
+    ``b`` scores item ``i`` as ``q_bi v_i``), but the selection is
+    conditioned and constrained: ``seeds`` is a zero-padded ``(B, s, r)``
+    stack of orthonormal directions (history items already shown, plus
+    the span of pinned rows) that are projected out of every marginal
+    gain before the first round, ``pins``/``quota`` are forwarded to
+    :func:`_batched_greedy_rounds_session`.  With no seeds, pins or
+    quotas this computes exactly what the plain shared variant computes
+    — but through a separate driver, so the unconstrained serving path
+    stays bit-identical to its pre-session behavior.
+    """
+    diversity_factors = np.asarray(diversity_factors, dtype=np.float64)
+    quality = np.asarray(quality, dtype=np.float64)
+    batch, ground = quality.shape
+    if diversity_factors.shape[0] != ground:
+        raise ValueError(
+            f"factors cover {diversity_factors.shape[0]} items but quality "
+            f"has {ground}"
+        )
+    if not 1 <= k <= ground:
+        raise ValueError(f"k must be in [1, {ground}], got {k}")
+    rows_index = np.arange(batch)
+    di2 = quality**2 * (diversity_factors**2).sum(axis=1)[None, :]
+    if seeds is not None:
+        projections = np.einsum("bsr,nr->bsn", seeds, diversity_factors)
+        projections *= quality[:, None, :]
+        di2 = _deflate_gains(di2, projections)
+
+    def row_factor(lasts: np.ndarray) -> np.ndarray:
+        return diversity_factors[lasts] * quality[rows_index, lasts][:, None]
+
+    def project(direction: np.ndarray) -> np.ndarray:
+        eis = direction @ diversity_factors.T
+        eis *= quality
+        return eis
+
+    return _batched_greedy_rounds_session(
+        di2,
+        row_factor,
+        project,
+        diversity_factors.shape[1],
+        k,
+        epsilon,
+        seeds=seeds,
+        pins=pins,
+        quota=quota,
+    )
+
+
+def batched_greedy_map_stacked_session(
+    factor_stack: np.ndarray,
+    k: int,
+    seeds: np.ndarray | None = None,
+    pins: list | None = None,
+    quota: list | None = None,
+    epsilon: float = 1e-10,
+) -> list[list[int]]:
+    """Session/constrained greedy MAP over a ``(B, N, r)`` factor stack.
+
+    The candidate-slice twin of
+    :func:`batched_greedy_map_shared_session`.  The serving engine hands
+    it stacks whose rows are already deflated against the request's
+    history, so ``seeds`` here carries only the pin directions (an
+    orthonormal basis of each request's pinned rows, zero-padded).
+    """
+    factor_stack = np.asarray(factor_stack, dtype=np.float64)
+    if factor_stack.ndim != 3:
+        raise ValueError(f"expected (B, N, r) factors, got {factor_stack.shape}")
+    batch, ground, _ = factor_stack.shape
+    if not 1 <= k <= ground:
+        raise ValueError(f"k must be in [1, {ground}], got {k}")
+    di2 = np.einsum("bnr,bnr->bn", factor_stack, factor_stack)
+    if seeds is not None:
+        projections = np.einsum("bsr,bnr->bsn", seeds, factor_stack)
+        di2 = _deflate_gains(di2, projections)
+
+    def row_factor(lasts: np.ndarray) -> np.ndarray:
+        return factor_stack[np.arange(batch), lasts]
+
+    def project(direction: np.ndarray) -> np.ndarray:
+        return np.einsum("bnr,br->bn", factor_stack, direction)
+
+    return _batched_greedy_rounds_session(
+        di2,
+        row_factor,
+        project,
+        factor_stack.shape[2],
+        k,
+        epsilon,
+        seeds=seeds,
+        pins=pins,
+        quota=quota,
     )
 
 

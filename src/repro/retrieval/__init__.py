@@ -25,7 +25,7 @@ and plug into :class:`~repro.serving.sharding.ShardedKDPPServer`,
 """
 
 from .base import CandidateSource, shard_offsets, shard_snapshots
-from .cache import FunnelCache
+from .cache import FunnelCache, exclusion_token, session_token
 from .exact import ExactTopK
 from .ivf import IVFIndex
 from .quantile import QuantileFunnel
@@ -36,6 +36,8 @@ __all__ = [
     "QuantileFunnel",
     "IVFIndex",
     "FunnelCache",
+    "exclusion_token",
+    "session_token",
     "shard_offsets",
     "shard_snapshots",
 ]

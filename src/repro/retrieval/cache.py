@@ -21,7 +21,10 @@ pressure.  The exclusion component matters because exclusions are
 zeroed *into* the quality the funnel sees: the same user with a
 different exclusion set funnels to a different pool, and exclusion
 arrays are small (a user's interaction history), so hashing them is
-O(|exclude|), not O(M) — see :func:`exclusion_token`.
+O(|exclude|), not O(M) — see :func:`exclusion_token`.  Session history
+(items shown on earlier pages) is folded into the same key component
+via :func:`session_token`: a cached pool computed before page 1 must
+not resurface page-1 items on page 2.
 
 The ``user`` id must identify one underlying quality vector per catalog
 version (the :class:`~repro.serving.bridge.RecommenderBridge`
@@ -47,7 +50,7 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["FunnelCache", "exclusion_token"]
+__all__ = ["FunnelCache", "exclusion_token", "session_token"]
 
 #: quality entries sampled for the fingerprint guard
 _FINGERPRINT_PROBES = 64
@@ -74,6 +77,24 @@ def exclusion_token(exclude) -> int | None:
     if ids.size == 0:
         return None
     return hash(ids.tobytes())
+
+
+def session_token(exclude, history) -> int | None:
+    """Key component covering both exclusions and session history.
+
+    Session history is zeroed into the funnel quality exactly like
+    exclusions (a page the user already saw must never re-enter a
+    cached pool), so the cache key has to separate requests that differ
+    in *either* set — and keep them distinct from each other, since
+    history additionally conditions the kernel downstream.  Both
+    ``None``/empty → ``None``, which collapses to the plain
+    :func:`exclusion_token` key for history-free traffic (pre-session
+    entries stay valid).
+    """
+    history_component = exclusion_token(history)
+    if history_component is None:
+        return exclusion_token(exclude)
+    return hash((exclusion_token(exclude), history_component))
 
 
 class FunnelCache:

@@ -32,13 +32,21 @@ into a full serving runtime:
 * :class:`~repro.serving.bridge.RecommenderBridge` — plugs any trained
   :class:`~repro.models.base.Recommender` in as the quality source, with
   candidate-pool restriction and a thread-safe LRU response cache.
+
+Session-aware serving (PR 6) extends the request model — per-request
+diversity strength ``alpha``, cross-page ``history`` conditioning via
+:class:`~repro.serving.session.Session`, constrained MAP (``pins`` /
+``quotas``) — and consolidates the stack's constructor knobs into one
+:class:`~repro.serving.config.ServingConfig`.
 """
 
 from .bridge import RecommenderBridge, quality_from_scores
 from .catalog import CatalogSnapshot, ItemCatalog
+from .config import ServingConfig
 from .runtime import ServingRuntime
 from .scheduler import MicroBatcher
 from .server import REQUEST_MODES, KDPPServer, Request, Response
+from .session import Session
 from .sharding import ShardedCatalog, ShardedKDPPServer, ShardedSnapshot
 
 __all__ = [
@@ -48,6 +56,8 @@ __all__ = [
     "Request",
     "Response",
     "REQUEST_MODES",
+    "ServingConfig",
+    "Session",
     "MicroBatcher",
     "ServingRuntime",
     "ShardedCatalog",

@@ -32,7 +32,8 @@ from ..dpp.kernels import SCORE_CLIP
 from ..models.base import Recommender
 from ..utils.topk import top_k_indices
 from .catalog import ItemCatalog
-from .server import KDPPServer, Request, Response
+from .config import UNSET, ServingConfig, resolve_config
+from .server import KDPPServer, Request, Response, extend_pool_for_constraints
 from .sharding import ShardedCatalog, ShardedKDPPServer
 
 __all__ = ["RecommenderBridge", "quality_from_scores"]
@@ -82,13 +83,17 @@ class RecommenderBridge:
     candidate_pool:
         When set, each request is restricted to the user's top-N items
         by quality — the candidate-slice serving path.
-    source / funnel_cache:
-        Candidate-generation plug-ins for the default sharded server
-        (any :class:`~repro.retrieval.base.CandidateSource`, an optional
+    config:
+        A :class:`~repro.serving.config.ServingConfig` configuring the
+        default server built here — most relevantly the funnel plug-ins
+        ``source`` / ``funnel_cache`` (any
+        :class:`~repro.retrieval.base.CandidateSource`, an optional
         :class:`~repro.retrieval.cache.FunnelCache`); requests built
         here carry the user id, so the funnel cache keys naturally.
-        Rejected when an explicit ``server`` is passed — configure that
-        server directly instead.
+        Plug-ins are rejected when an explicit ``server`` is passed —
+        configure that server directly instead.  The legacy ``source=``
+        / ``funnel_cache=`` kwargs still work with a
+        :class:`DeprecationWarning`.
     """
 
     def __init__(
@@ -100,8 +105,9 @@ class RecommenderBridge:
         temperature: float = 1.0,
         candidate_pool: int | None = None,
         cache_size: int = 256,
-        source=None,
-        funnel_cache=None,
+        source=UNSET,
+        funnel_cache=UNSET,
+        config: ServingConfig | None = None,
     ) -> None:
         if catalog.num_items != model.num_items:
             raise ValueError(
@@ -112,23 +118,26 @@ class RecommenderBridge:
             raise ValueError(f"candidate_pool must be positive, got {candidate_pool}")
         if cache_size < 0:
             raise ValueError(f"cache_size must be non-negative, got {cache_size}")
+        config = resolve_config(
+            config,
+            {"source": source, "funnel_cache": funnel_cache},
+            type(self).__name__,
+        )
         self.model = model
         self.catalog = catalog
         if server is None:
             # Mirror ServingRuntime's dispatch: a sharded catalog needs
             # the funnel server (the plain engine cannot read it).
             if isinstance(catalog, ShardedCatalog):
-                server = ShardedKDPPServer(
-                    catalog, source=source, funnel_cache=funnel_cache
-                )
-            elif source is not None or funnel_cache is not None:
+                server = ShardedKDPPServer(catalog, config=config)
+            elif config.source is not None or config.funnel_cache is not None:
                 raise ValueError(
                     "candidate sources / funnel caches require a sharded "
                     "catalog (the monolithic engine has no funnel stage)"
                 )
             else:
-                server = KDPPServer(catalog)
-        elif source is not None or funnel_cache is not None:
+                server = KDPPServer(catalog, config=config)
+        elif config.source is not None or config.funnel_cache is not None:
             raise ValueError(
                 "pass source/funnel_cache either to the bridge (to build "
                 "the default server) or to your own server, not both"
@@ -196,11 +205,20 @@ class RecommenderBridge:
         mode: str = "map",
         seed: int | None = None,
         scores: np.ndarray | None = None,
+        alpha: float = 1.0,
+        history=None,
+        pins=None,
+        quotas=None,
+        categories=None,
     ) -> Request:
         """Assemble one user's :class:`Request` (quality, exclusions, pool).
 
         ``scores`` lets :meth:`recommend` pin one captured score matrix
-        across a whole batch; default is the current snapshot.
+        across a whole batch; default is the current snapshot.  The
+        session fields (``alpha`` / ``history`` / ``pins`` / ``quotas``
+        / ``categories``) pass straight through to the request; history
+        items are additionally masked out of a ``candidate_pool`` slice
+        so paging never wastes pool slots on already-shown items.
         """
         quality = self._quality_from_matrix(
             self.scores() if scores is None else scores, user
@@ -209,10 +227,18 @@ class RecommenderBridge:
         candidates = None
         if self.candidate_pool is not None and mode != "topk-rerank":
             masked = quality
-            if exclude is not None and len(exclude) > 0:
+            zero = [
+                ids
+                for ids in (exclude, history)
+                if ids is not None and len(ids) > 0
+            ]
+            if zero:
                 masked = quality.copy()
-                masked[exclude] = 0.0
+                masked[np.concatenate([np.asarray(i, dtype=np.int64) for i in zero])] = 0.0
             candidates = top_k_indices(masked, max(self.candidate_pool, k))
+            candidates = extend_pool_for_constraints(
+                candidates, masked, pins, quotas, categories
+            )
         return Request(
             quality=quality,
             k=k,
@@ -221,6 +247,11 @@ class RecommenderBridge:
             candidates=candidates,
             seed=seed,
             user=int(user),
+            alpha=alpha,
+            history=history,
+            pins=pins,
+            quotas=quotas,
+            categories=categories,
         )
 
     # ------------------------------------------------------------------
@@ -232,6 +263,7 @@ class RecommenderBridge:
         seed: int | None,
         catalog_version: int,
         scores_token: int,
+        alpha: float = 1.0,
     ):
         return (
             int(user),
@@ -242,6 +274,7 @@ class RecommenderBridge:
             self.temperature,
             catalog_version,
             scores_token,
+            float(alpha),
         )
 
     def recommend(
@@ -250,14 +283,19 @@ class RecommenderBridge:
         k: int,
         mode: str = "map",
         seeds: Sequence[int] | None = None,
+        alpha: float = 1.0,
     ) -> list[Response]:
         """Batched recommendations for ``users``, LRU-cached.
 
         Deterministic requests (``map`` / ``topk-rerank`` always, and
         ``sample`` when a per-user seed is given) hit the cache; cache
-        keys include the catalog version and score snapshot so a
-        :meth:`ItemCatalog.refresh` or :meth:`refresh_scores`
-        invalidates stale responses without any explicit flush.
+        keys include the catalog version, score snapshot and the
+        diversity strength ``alpha`` so a :meth:`ItemCatalog.refresh`,
+        :meth:`refresh_scores` or a different ``alpha`` invalidates
+        stale responses without any explicit flush.  (Session-stateful
+        requests — history / pins / quotas — go through
+        :meth:`build_request` and the server directly; their responses
+        are page-dependent and never belong in this per-user cache.)
         """
         if seeds is not None and len(seeds) != len(users):
             raise ValueError(
@@ -276,7 +314,9 @@ class RecommenderBridge:
             seed = None if seeds is None else int(seeds[position])
             cacheable = mode != "sample" or seed is not None
             key = (
-                self._cache_key(user, k, mode, seed, snapshot.version, scores_token)
+                self._cache_key(
+                    user, k, mode, seed, snapshot.version, scores_token, alpha
+                )
                 if cacheable
                 else None
             )
@@ -304,7 +344,9 @@ class RecommenderBridge:
                 continue
             pending.append((position, key))
             requests.append(
-                self.build_request(user, k, mode=mode, seed=seed, scores=scores)
+                self.build_request(
+                    user, k, mode=mode, seed=seed, scores=scores, alpha=alpha
+                )
             )
         if requests:
             served = self.server.serve(requests, snapshot=snapshot)

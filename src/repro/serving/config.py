@@ -1,0 +1,115 @@
+"""One configuration object for the whole serving stack.
+
+Before this module, serving knobs were constructor kwargs scattered
+across three classes: ``KDPPServer(rerank_pool=...)``,
+``ShardedKDPPServer(funnel_width=..., source=..., funnel_cache=...)``
+and ``ServingRuntime(max_batch=..., max_wait=..., workers=...,
+clock=...)`` — every new layer re-threaded the union.
+:class:`ServingConfig` consolidates them: build one (frozen, validated)
+config and hand it to any layer via ``config=``; each layer reads the
+fields it owns and forwards the rest.  The legacy kwargs still work on
+every constructor but emit :class:`DeprecationWarning`s.
+
+The fields are serving *infrastructure* knobs — engine pool sizes,
+funnel plumbing, micro-batcher windows.  Per-request semantics (``k``,
+``mode``, ``alpha``, history, pins, quotas) stay on
+:class:`~repro.serving.server.Request`, and model-side knobs
+(temperature, per-user candidate pools) stay on
+:class:`~repro.serving.bridge.RecommenderBridge`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["ServingConfig"]
+
+#: sentinel distinguishing "legacy kwarg not passed" from explicit None
+UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Consolidated serving-stack configuration.
+
+    Parameters
+    ----------
+    rerank_pool:
+        Default pool size for ``topk-rerank`` requests
+        (:class:`~repro.serving.server.KDPPServer`; per-request
+        ``Request.rerank_pool`` overrides it).
+    funnel_width:
+        Per-shard candidate budget of the sharded funnel
+        (:class:`~repro.serving.sharding.ShardedKDPPServer`).
+    max_batch / max_wait / workers / clock:
+        Micro-batcher admission windows
+        (:class:`~repro.serving.scheduler.MicroBatcher`); ``clock=None``
+        means ``time.monotonic``.
+    source / funnel_cache:
+        Candidate-generation plug-ins for the sharded funnel: any
+        :class:`~repro.retrieval.base.CandidateSource` and an optional
+        :class:`~repro.retrieval.cache.FunnelCache`.
+    """
+
+    rerank_pool: int = 100
+    funnel_width: int = 32
+    max_batch: int = 32
+    max_wait: float = 0.002
+    workers: int = 1
+    clock: Callable[[], float] | None = None
+    source: Any | None = None
+    funnel_cache: Any | None = None
+
+    def __post_init__(self) -> None:
+        if self.rerank_pool < 1:
+            raise ValueError(
+                f"rerank_pool must be positive, got {self.rerank_pool}"
+            )
+        if self.funnel_width < 1:
+            raise ValueError(
+                f"funnel_width must be positive, got {self.funnel_width}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be positive, got {self.max_batch}")
+        if self.max_wait < 0:
+            raise ValueError(
+                f"max_wait must be non-negative, got {self.max_wait}"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be non-negative, got {self.workers}")
+
+    def replace(self, **changes) -> "ServingConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+def resolve_config(
+    config: ServingConfig | None,
+    legacy: dict[str, Any],
+    owner: str,
+) -> ServingConfig:
+    """Fold deprecated per-constructor kwargs into a :class:`ServingConfig`.
+
+    ``legacy`` maps field names to values, with :data:`UNSET` marking
+    kwargs the caller did not pass.  Passed legacy kwargs emit one
+    :class:`DeprecationWarning` naming them; combining them with an
+    explicit ``config`` is rejected (two sources of truth).
+    """
+    used = {name: value for name, value in legacy.items() if value is not UNSET}
+    if not used:
+        return config if config is not None else ServingConfig()
+    if config is not None:
+        raise ValueError(
+            f"{owner}: pass either config=ServingConfig(...) or the legacy "
+            f"kwargs ({', '.join(sorted(used))}), not both"
+        )
+    warnings.warn(
+        f"{owner}({', '.join(f'{name}=...' for name in sorted(used))}) is "
+        "deprecated; pass config=ServingConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ServingConfig(**used)

@@ -34,13 +34,13 @@ factor generations.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import Future
 from typing import Callable, Sequence
 
 import numpy as np
 
 from .catalog import ItemCatalog
+from .config import UNSET, ServingConfig, resolve_config
 from .scheduler import MicroBatcher
 from .server import KDPPServer, Request, Response
 from .sharding import ShardedCatalog, ShardedKDPPServer
@@ -58,65 +58,80 @@ class ServingRuntime:
         default server flavor.
     server:
         Override the engine (must serve ``(requests, snapshot=...)``).
-    max_batch / max_wait / workers / clock:
-        Micro-batcher admission knobs, see
-        :class:`~repro.serving.scheduler.MicroBatcher`.  ``workers=0``
-        is the deterministic inline mode (drive with :meth:`poll` /
-        :meth:`flush`).
-    funnel_width / rerank_pool:
-        Forwarded to the default server construction.
-    source / funnel_cache:
-        Candidate-generation plug-ins forwarded to the default
-        :class:`~repro.serving.sharding.ShardedKDPPServer` (ignored for
-        a monolithic catalog, which has no funnel): any
-        :class:`~repro.retrieval.base.CandidateSource` and an optional
-        :class:`~repro.retrieval.cache.FunnelCache`, which
-        :meth:`publish` invalidates eagerly on every hot-swap.
+    config:
+        A :class:`~repro.serving.config.ServingConfig` carrying every
+        infrastructure knob — micro-batcher admission windows
+        (``max_batch`` / ``max_wait`` / ``workers`` / ``clock``;
+        ``workers=0`` is the deterministic inline mode, drive with
+        :meth:`poll` / :meth:`flush`), default-server pool sizes
+        (``funnel_width`` / ``rerank_pool``), and the funnel plug-ins
+        (``source`` / ``funnel_cache``, sharded catalogs only; an
+        attached cache is invalidated eagerly by :meth:`publish`).
+        :meth:`from_config` is the constructor-shaped spelling.
+
+    The pre-config kwargs (``max_batch=``, ``funnel_width=``, ...) still
+    work but emit :class:`DeprecationWarning`; combining them with
+    ``config=`` is an error.
     """
 
     def __init__(
         self,
         catalog: ItemCatalog | ShardedCatalog,
         server: KDPPServer | None = None,
-        max_batch: int = 32,
-        max_wait: float = 0.002,
-        workers: int = 1,
-        clock: Callable[[], float] = time.monotonic,
-        funnel_width: int = 32,
-        rerank_pool: int = 100,
-        source=None,
-        funnel_cache=None,
+        max_batch: int = UNSET,
+        max_wait: float = UNSET,
+        workers: int = UNSET,
+        clock: Callable[[], float] = UNSET,
+        funnel_width: int = UNSET,
+        rerank_pool: int = UNSET,
+        source=UNSET,
+        funnel_cache=UNSET,
+        config: ServingConfig | None = None,
     ) -> None:
+        config = resolve_config(
+            config,
+            {
+                "max_batch": max_batch,
+                "max_wait": max_wait,
+                "workers": workers,
+                "clock": clock,
+                "funnel_width": funnel_width,
+                "rerank_pool": rerank_pool,
+                "source": source,
+                "funnel_cache": funnel_cache,
+            },
+            type(self).__name__,
+        )
         self.catalog = catalog
+        self.config = config
         if server is None:
             if isinstance(catalog, ShardedCatalog):
-                server = ShardedKDPPServer(
-                    catalog,
-                    funnel_width=funnel_width,
-                    rerank_pool=rerank_pool,
-                    source=source,
-                    funnel_cache=funnel_cache,
-                )
-            elif source is not None or funnel_cache is not None:
+                server = ShardedKDPPServer(catalog, config=config)
+            elif config.source is not None or config.funnel_cache is not None:
                 raise ValueError(
                     "candidate sources / funnel caches require a sharded "
                     "catalog (the monolithic engine has no funnel stage)"
                 )
             else:
-                server = KDPPServer(catalog, rerank_pool=rerank_pool)
-        elif source is not None or funnel_cache is not None:
+                server = KDPPServer(catalog, config=config)
+        elif config.source is not None or config.funnel_cache is not None:
             raise ValueError(
                 "pass source/funnel_cache either to the runtime (to build "
                 "the default server) or to your own server, not both"
             )
         self.server = server
-        self._batcher = MicroBatcher(
-            self._serve_tagged,
-            max_batch=max_batch,
-            max_wait=max_wait,
-            workers=workers,
-            clock=clock,
-        )
+        self._batcher = MicroBatcher.from_config(self._serve_tagged, config)
+
+    @classmethod
+    def from_config(
+        cls,
+        catalog: ItemCatalog | ShardedCatalog,
+        config: ServingConfig | None = None,
+        server: KDPPServer | None = None,
+    ) -> "ServingRuntime":
+        """Build a runtime from one :class:`ServingConfig` (the preferred
+        spelling; ``config=None`` means all defaults)."""
+        return cls(catalog, server=server, config=config)
 
     def _serve_tagged(self, requests: list[Request], snapshot) -> Sequence[Response]:
         return self.server.serve(requests, snapshot=snapshot)

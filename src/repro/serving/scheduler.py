@@ -78,6 +78,10 @@ class MicroBatcher:
         Monotonic time source; inject a manual clock for determinism.
         Threaded waiting assumes clock seconds are wall seconds, so
         manual clocks belong with ``workers=0``.
+
+    :meth:`from_config` builds a batcher from the admission fields of a
+    :class:`~repro.serving.config.ServingConfig` — the spelling the
+    runtime uses, so the whole stack shares one config object.
     """
 
     def __init__(
@@ -126,6 +130,20 @@ class MicroBatcher:
         ]
         for thread in self._threads:
             thread.start()
+
+    @classmethod
+    def from_config(
+        cls, serve: Callable[[list, Any], Sequence], config
+    ) -> "MicroBatcher":
+        """A batcher from the admission fields of a ``ServingConfig``
+        (``clock=None`` in the config means ``time.monotonic``)."""
+        return cls(
+            serve,
+            max_batch=config.max_batch,
+            max_wait=config.max_wait,
+            workers=config.workers,
+            clock=config.clock if config.clock is not None else time.monotonic,
+        )
 
     # ------------------------------------------------------------------
     # Admission

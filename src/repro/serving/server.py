@@ -36,6 +36,38 @@ restricts a request to an explicit item slice (the
 user-specific top-N candidate pools); results are reported in catalog
 ids either way.
 
+Session-aware serving
+---------------------
+Four request fields extend the model to multi-page sessions and
+constrained slates; all default to "off", and requests that leave them
+off are served through the exact pre-session code paths (bit-identical
+results, seeded samples included):
+
+* ``alpha`` — per-request diversity strength.  The effective quality is
+  ``q_u^(1/alpha)``: ``alpha=1`` is the paper's Eq. 2 kernel, larger
+  values flatten quality so the determinant's diversity term dominates
+  (ReAgent's DPP-wrapper knob), smaller values sharpen quality toward
+  plain top-k.  A monotone transform, so funnels and rerank pools are
+  unchanged — only the kernel trade-off moves.
+* ``history`` — items already shown earlier in the session.  They are
+  zeroed out of the ground set like exclusions *and* conditioned out of
+  the kernel: the low-rank Schur complement of ``L_u`` given a shown
+  set A is exactly the kernel of the factor rows deflated by an
+  orthonormal basis ``U`` of ``span{v_h : h ∈ A}`` (``B̃ = B(I - UUᵀ)``,
+  dual ``C̃ = PCP`` with ``P = I - UUᵀ`` — still r × r, one O(r²h)
+  correction per request after the shared batched dual build).  Samples
+  and MAP slates are therefore diverse *against the pages the user
+  already saw*, not just internally.
+* ``pins`` — must-include items (MAP modes only).  They occupy the
+  front of the returned list and seed the greedy Gram–Schmidt state, so
+  the remaining ``k - |pins|`` picks maximize the determinant *given*
+  the pins.
+* ``quotas`` / ``categories`` — per-category minimum counts (MAP modes
+  only).  The batched greedy loop restricts its argmax to deficit
+  categories whenever the remaining slots are all needed to close the
+  quotas; the funnel guarantees each quota'd category enough
+  positive-quality pool members.
+
 ``serve_sequential`` is the PR 2 one-request-at-a-time loop over the
 same request semantics — the parity oracle for the tests and the
 baseline the serving benchmark measures against.  One caveat: greedy
@@ -48,7 +80,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -63,11 +95,14 @@ from ..dpp.kdpp import (
 from ..dpp.kernels import LowRankKernel
 from ..dpp.map_inference import (
     batched_greedy_map_shared,
+    batched_greedy_map_shared_session,
     batched_greedy_map_stacked,
+    batched_greedy_map_stacked_session,
     greedy_map,
 )
 from ..utils.topk import top_k_indices
 from .catalog import CatalogSnapshot, ItemCatalog
+from .config import UNSET, ServingConfig, resolve_config
 
 __all__ = [
     "Request",
@@ -76,9 +111,39 @@ __all__ = [
     "REQUEST_MODES",
     "validate_request_mode_and_k",
     "effective_request_quality",
+    "extend_pool_for_constraints",
 ]
 
 REQUEST_MODES = ("sample", "map", "topk-rerank")
+
+#: ceiling on ``quality ** (1/alpha)`` — keeps extreme alpha values from
+#: overflowing to inf (the kernel only needs quality *ratios*)
+ALPHA_QUALITY_CLIP = 1e150
+
+
+def _as_ids(values, dtype=np.int64) -> np.ndarray | None:
+    """``None``/empty → ``None``; otherwise a 1-D int64 id array."""
+    if values is None:
+        return None
+    ids = np.asarray(values, dtype=dtype)
+    if ids.size == 0:
+        return None
+    return ids.reshape(-1)
+
+
+def _orthonormal_columns(rows: np.ndarray) -> np.ndarray | None:
+    """Orthonormal basis (r, s) of the span of ``rows`` (h, r), rank-
+    revealing: linearly dependent rows contribute no spurious basis
+    vector (a QR would), so conditioning never over-deflates."""
+    if rows.size == 0:
+        return None
+    u, s, _ = np.linalg.svd(rows.T, full_matrices=False)
+    if s.size == 0 or s[0] <= 0.0:
+        return None
+    keep = s > max(rows.shape) * np.finfo(np.float64).eps * s[0]
+    if not np.any(keep):
+        return None
+    return np.ascontiguousarray(u[:, keep])
 
 
 def validate_request_mode_and_k(request: "Request", index: int) -> None:
@@ -101,7 +166,8 @@ def validate_request_mode_and_k(request: "Request", index: int) -> None:
 def effective_request_quality(
     request: "Request", index: int, num_items: int, check_values: bool = True
 ) -> np.ndarray:
-    """The request's catalog-sized quality with exclusions zeroed.
+    """The request's catalog-sized quality with exclusions *and* history
+    zeroed (shown items must never re-enter a pool or a slate).
 
     Shape and exclusion-id bounds are always enforced;
     ``check_values=False`` defers the O(M) finiteness/negativity scan to
@@ -120,15 +186,78 @@ def effective_request_quality(
         raise ValueError(
             f"request {index}: quality must be finite and non-negative"
         )
+    zero = []
     if request.exclude is not None and len(request.exclude) > 0:
         exclude = np.asarray(request.exclude, dtype=np.int64)
         if np.any(exclude < 0) or np.any(exclude >= num_items):
             raise ValueError(
                 f"request {index}: exclusion ids must be in [0, {num_items})"
             )
+        zero.append(exclude)
+    history = _as_ids(request.history)
+    if history is not None:
+        if np.any(history < 0) or np.any(history >= num_items):
+            raise ValueError(
+                f"request {index}: history ids must be in [0, {num_items})"
+            )
+        zero.append(history)
+    if zero:
         quality = quality.copy()
-        quality[exclude] = 0.0
+        quality[np.concatenate(zero)] = 0.0
     return quality
+
+
+def extend_pool_for_constraints(
+    pool: np.ndarray,
+    quality: np.ndarray,
+    pins: np.ndarray | None,
+    quotas: Mapping[int, int] | None,
+    categories: np.ndarray | None,
+) -> np.ndarray:
+    """Union pins and per-category quota tops into a candidate pool.
+
+    Used wherever serving builds a pool on the caller's behalf (the
+    engine's ``topk-rerank`` lowering, the sharded funnel): the pool
+    stays the pure quality funnel output — so funnel caches stay
+    reusable across constraint changes — and the constraint extras are
+    appended after it in deterministic order (pins in request order,
+    then quota top-ups by ascending category, each descending quality).
+    Explicit caller-provided ``candidates`` are never extended.
+    """
+    pins = _as_ids(pins)
+    if pins is None and not quotas:
+        return pool
+    pool = np.asarray(pool, dtype=np.int64)
+    present = set(pool.tolist())
+    extras: list[int] = []
+    if pins is not None:
+        for pin in pins.tolist():
+            if pin not in present:
+                extras.append(pin)
+                present.add(pin)
+    if quotas:
+        merged = np.concatenate([pool, np.asarray(extras, dtype=np.int64)])
+        for category, need in sorted(quotas.items()):
+            in_pool = int(
+                np.count_nonzero(
+                    (categories[merged] == category) & (quality[merged] > 0)
+                )
+            )
+            if in_pool >= need:
+                continue
+            mask = (categories == category) & (quality > 0)
+            mask[merged] = False
+            eligible = np.flatnonzero(mask)
+            if eligible.size == 0:
+                continue
+            order = eligible[
+                np.argsort(-quality[eligible], kind="stable")[: need - in_pool]
+            ]
+            extras.extend(int(item) for item in order)
+            merged = np.concatenate([merged, order])
+    if not extras:
+        return pool
+    return np.concatenate([pool, np.asarray(extras, dtype=np.int64)])
 
 
 @dataclass(frozen=True)
@@ -145,6 +274,15 @@ class Request:
     :class:`~repro.retrieval.cache.FunnelCache` keys on it, under the
     contract that one ``user`` id maps to one quality vector per catalog
     version (the bridge guarantees this via its score snapshot).
+
+    Session fields (see the module docstring for the semantics):
+    ``alpha`` rescales quality to ``q_u^(1/alpha)`` (diversity strength;
+    1.0 is the neutral pre-session kernel), ``history`` conditions
+    already-shown items out of the kernel, ``pins`` force-includes items
+    at the front of a MAP slate, and ``quotas`` (with the catalog-sized
+    ``categories`` labeling) imposes per-category minimum counts on a
+    MAP slate.  All default to off; :meth:`validate` is the single
+    authority on their invariants.
     """
 
     quality: np.ndarray
@@ -155,17 +293,119 @@ class Request:
     seed: int | None = None
     rerank_pool: int | None = None
     user: int | None = None
+    alpha: float = 1.0
+    history: np.ndarray | None = None
+    pins: np.ndarray | None = None
+    quotas: Mapping[int, int] | None = None
+    categories: np.ndarray | None = None
+
+    def validate(self, num_items: int, index: int = 0) -> None:
+        """Check every structural field invariant, raising request-
+        indexed ``ValueError``s (the quality *values* are scanned
+        separately by :func:`effective_request_quality`, which knows
+        whether the request is sliced).
+
+        This is the one source of truth for request validation — the
+        engine's ``_resolve`` and the sharded funnel's ``_lower`` both
+        start here instead of running their own ad-hoc checks.
+        """
+        validate_request_mode_and_k(self, index)
+        alpha = float(self.alpha)
+        if not np.isfinite(alpha) or alpha <= 0:
+            raise ValueError(
+                f"request {index}: alpha must be a positive finite number, "
+                f"got {self.alpha}"
+            )
+        history = _as_ids(self.history)
+        if history is not None and (
+            np.any(history < 0) or np.any(history >= num_items)
+        ):
+            raise ValueError(
+                f"request {index}: history ids must be in [0, {num_items})"
+            )
+        pins = _as_ids(self.pins)
+        if pins is not None:
+            if self.mode == "sample":
+                raise ValueError(
+                    f"request {index}: pins require a MAP mode ('map' or "
+                    "'topk-rerank'); a sample cannot force-include items"
+                )
+            if np.any(pins < 0) or np.any(pins >= num_items):
+                raise ValueError(
+                    f"request {index}: pin ids must be in [0, {num_items})"
+                )
+            if len(set(pins.tolist())) != pins.shape[0]:
+                raise ValueError(f"request {index}: pin ids must be unique")
+            if pins.shape[0] > self.k:
+                raise ValueError(
+                    f"request {index}: {pins.shape[0]} pins exceed k={self.k}"
+                )
+            exclude = _as_ids(self.exclude)
+            if exclude is not None and np.any(np.isin(pins, exclude)):
+                raise ValueError(
+                    f"request {index}: pins overlap the exclusion set"
+                )
+            if history is not None and np.any(np.isin(pins, history)):
+                raise ValueError(
+                    f"request {index}: pins overlap the session history"
+                )
+            if self.candidates is not None and not np.all(
+                np.isin(pins, np.asarray(self.candidates, dtype=np.int64))
+            ):
+                raise ValueError(
+                    f"request {index}: pins must be members of the explicit "
+                    "candidate slice"
+                )
+        if self.quotas:
+            if self.mode == "sample":
+                raise ValueError(
+                    f"request {index}: quotas require a MAP mode ('map' or "
+                    "'topk-rerank')"
+                )
+            if self.categories is None:
+                raise ValueError(
+                    f"request {index}: quotas need a catalog-sized "
+                    "'categories' labeling"
+                )
+            categories = np.asarray(self.categories)
+            if categories.shape != (num_items,) or not np.issubdtype(
+                categories.dtype, np.integer
+            ):
+                raise ValueError(
+                    f"request {index}: categories must be an integer array "
+                    f"of shape ({num_items},), got shape {categories.shape} "
+                    f"dtype {categories.dtype}"
+                )
+            total = 0
+            for category, need in self.quotas.items():
+                if int(need) < 1:
+                    raise ValueError(
+                        f"request {index}: quota minimum for category "
+                        f"{category} must be positive, got {need}"
+                    )
+                total += int(need)
+            if total > self.k:
+                raise ValueError(
+                    f"request {index}: quota minimums sum to {total}, "
+                    f"exceeding k={self.k}"
+                )
 
 
-@dataclass
+@dataclass(frozen=True)
 class Response:
-    """Result of one request: selected items (catalog ids, list order =
-    selection order) and the set's k-DPP log-probability under the
-    request's personalized kernel (``None`` when greedy MAP stopped
-    early with fewer than k items).  ``version`` stamps the catalog
-    snapshot the request was served against — under live snapshot
-    hot-swaps it tells the caller exactly which factor generation
-    produced the list."""
+    """Result of one request (immutable — callers and caches share
+    instances safely; derive variants with :func:`dataclasses.replace`).
+
+    ``items`` are catalog ids in selection order; pinned items lead.
+    ``log_probability`` is the set's k-DPP log-probability under the
+    request's personalized kernel — conditioned on the request's
+    ``history`` when one was given — and is ``None`` exactly when
+    greedy MAP stopped early with fewer than ``k`` items (exhausted
+    rank, unsatisfiable quota, or all remaining marginal gains below
+    the stopping epsilon); the short ``items`` list is still a valid
+    prefix slate.  ``version`` stamps the catalog snapshot the request
+    was served against — under live snapshot hot-swaps it tells the
+    caller exactly which factor generation produced the list."""
 
     items: list[int]
     log_probability: float | None
@@ -177,26 +417,55 @@ class Response:
 
 @dataclass
 class _Resolved:
-    """A validated request: zero-quality exclusions applied, topk-rerank
-    lowered to MAP over an explicit candidate slice."""
+    """A validated request: zero-quality exclusions/history applied,
+    alpha folded into the quality, topk-rerank lowered to MAP over an
+    explicit candidate slice."""
 
     index: int
-    quality: np.ndarray  # catalog-sized effective quality
+    quality: np.ndarray  # catalog-sized effective quality (alpha applied)
     k: int
     mode: str  # "sample" | "map" after lowering
     report_mode: str  # the caller's mode, echoed in the Response
     candidates: np.ndarray | None
     seed: int | None
+    history: np.ndarray | None = None
+    pins: np.ndarray | None = None
+    quotas: Mapping[int, int] | None = None
+    categories: np.ndarray | None = None
+
+    @property
+    def has_session(self) -> bool:
+        """True when the request needs the session serving paths.
+
+        ``alpha`` deliberately does not count: it only rescales the
+        quality vector, so alpha-only requests ride the original
+        (bit-stable) group paths.
+        """
+        return (
+            self.history is not None
+            or self.pins is not None
+            or bool(self.quotas)
+        )
 
 
 class KDPPServer:
-    """Batched k-DPP recommendation engine over one :class:`ItemCatalog`."""
+    """Batched k-DPP recommendation engine over one :class:`ItemCatalog`.
 
-    def __init__(self, catalog: ItemCatalog, rerank_pool: int = 100) -> None:
-        if rerank_pool < 1:
-            raise ValueError(f"rerank_pool must be positive, got {rerank_pool}")
+    Configure with ``config=ServingConfig(...)``; the legacy
+    ``rerank_pool=`` kwarg still works but is deprecated.
+    """
+
+    def __init__(
+        self,
+        catalog: ItemCatalog,
+        rerank_pool: int = UNSET,
+        config: ServingConfig | None = None,
+    ) -> None:
+        self.config = resolve_config(
+            config, {"rerank_pool": rerank_pool}, type(self).__name__
+        )
         self.catalog = catalog
-        self.rerank_pool = rerank_pool
+        self.rerank_pool = self.config.rerank_pool
         # Unseeded requests draw from generators spawned off one entropy
         # source under a lock: numpy Generators are not thread-safe, and
         # the micro-batcher serves batches from worker threads.
@@ -220,7 +489,7 @@ class KDPPServer:
         self, request: Request, index: int, snap: CatalogSnapshot
     ) -> _Resolved:
         num_items = snap.num_items
-        validate_request_mode_and_k(request, index)
+        request.validate(num_items, index)
         # The O(M) value scan runs on whatever can reach a kernel: the
         # full vector for full-catalog (and topk-rerank, which ranks the
         # whole vector) requests, but only the candidate slice for
@@ -232,6 +501,16 @@ class KDPPServer:
         quality = effective_request_quality(
             request, index, num_items, check_values=not sliced
         )
+        alpha = float(request.alpha)
+        if alpha != 1.0:
+            # q^(1/alpha), guarded: negative entries (only reachable on
+            # the deferred-scan sliced path) power to nan and fail the
+            # slice scan below with the standard quality error.
+            with np.errstate(invalid="ignore", over="ignore"):
+                quality = np.power(quality, 1.0 / alpha)
+            np.minimum(quality, ALPHA_QUALITY_CLIP, out=quality)
+        history = _as_ids(request.history)
+        pins = _as_ids(request.pins)
         candidates = request.candidates
         mode = request.mode
         local = None  # quality gathered at the candidate slice, once
@@ -245,6 +524,9 @@ class KDPPServer:
                 self.rerank_pool if request.rerank_pool is None else request.rerank_pool
             )
             candidates = top_k_indices(quality, max(pool, request.k))
+            candidates = extend_pool_for_constraints(
+                candidates, quality, pins, request.quotas, request.categories
+            )
             local = quality[candidates]
             mode = "map"
         elif candidates is not None:
@@ -279,6 +561,11 @@ class KDPPServer:
                 f"left after exclusions and candidate slicing; ground set "
                 f"has {ground})"
             )
+        if pins is not None and np.any(quality[pins] <= 0):
+            raise ValueError(
+                f"request {index}: pins must have positive effective "
+                "quality (an excluded or zero-quality item cannot be pinned)"
+            )
         return _Resolved(
             index=index,
             quality=quality,
@@ -287,6 +574,14 @@ class KDPPServer:
             report_mode=request.mode,
             candidates=candidates,
             seed=request.seed,
+            history=history,
+            pins=pins,
+            quotas=dict(request.quotas) if request.quotas else None,
+            categories=(
+                np.asarray(request.categories, dtype=np.int64)
+                if request.quotas
+                else None
+            ),
         )
 
     def _request_rng(self, resolved: _Resolved) -> np.random.Generator:
@@ -319,13 +614,28 @@ class KDPPServer:
             ground = (
                 snap.num_items if item.candidates is None else item.candidates.shape[0]
             )
-            key = (item.candidates is None, ground, item.k, item.mode)
+            # Session requests (history/pins/quotas) are grouped apart
+            # from clean ones: clean groups run the original code paths
+            # verbatim, which is what keeps the default request shape
+            # bit-identical to pre-session serving.
+            key = (
+                item.candidates is None,
+                ground,
+                item.k,
+                item.mode,
+                item.has_session,
+            )
             groups.setdefault(key, []).append(item)
-        for (is_full, _, k, mode), members in groups.items():
-            if is_full:
-                self._serve_full_group(members, k, mode, responses, snap)
+        for (is_full, _, k, mode, has_session), members in groups.items():
+            if not has_session:
+                if is_full:
+                    self._serve_full_group(members, k, mode, responses, snap)
+                else:
+                    self._serve_sliced_group(members, k, mode, responses, snap)
+            elif is_full:
+                self._serve_full_session_group(members, k, mode, responses, snap)
             else:
-                self._serve_sliced_group(members, k, mode, responses, snap)
+                self._serve_sliced_session_group(members, k, mode, responses, snap)
         return responses  # type: ignore[return-value]
 
     def _log_normalizers(
@@ -344,10 +654,16 @@ class KDPPServer:
             log_normalizers = np.full(len(members), -np.inf)
         if mode == "sample" and not np.all(np.isfinite(log_normalizers)):
             bad = members[int(np.flatnonzero(~np.isfinite(log_normalizers))[0])]
+            hint = (
+                " (history conditioning removes one eigenvalue per "
+                "independent shown item)"
+                if bad.history is not None
+                else ""
+            )
             raise ValueError(
                 f"request {bad.index}: factor rank is below k={k} (e_k of "
                 "the dual spectrum is 0); a k-DPP needs at least k nonzero "
-                "eigenvalues"
+                f"eigenvalues{hint}"
             )
         return log_normalizers
 
@@ -493,6 +809,190 @@ class KDPPServer:
             members, samples, log_normalizers, None, stack, k, responses, snap
         )
 
+    # ------------------------------------------------------------------
+    # Session serving (history conditioning, pins, quotas)
+    # ------------------------------------------------------------------
+    def _session_units(
+        self, history: np.ndarray | None, snap: CatalogSnapshot
+    ) -> np.ndarray | None:
+        """Orthonormal ``(r, h')`` basis of the history rows' span (the
+        deflation directions of the conditioned kernel), or ``None``."""
+        if history is None:
+            return None
+        return _orthonormal_columns(snap.take_rows(history))
+
+    def _local_pins(self, member: _Resolved) -> np.ndarray | None:
+        """The member's pins as local ground-set ids (positions inside
+        its candidate slice when one exists, catalog ids otherwise)."""
+        if member.pins is None:
+            return None
+        if member.candidates is None:
+            return member.pins
+        position = {int(item): i for i, item in enumerate(member.candidates)}
+        return np.array(
+            [position[int(pin)] for pin in member.pins], dtype=np.int64
+        )
+
+    def _session_map_inputs(
+        self,
+        members: list[_Resolved],
+        units: list[np.ndarray | None],
+        snap: CatalogSnapshot,
+        stack: np.ndarray | None,
+    ) -> tuple[np.ndarray | None, list, list | None]:
+        """Assemble the constrained-greedy inputs for one session group:
+        zero-padded seed directions, per-member local pins and quota
+        specs.
+
+        On the full-catalog path (``stack=None``) each member's seeds
+        span its history *and* pin rows (both from the shared factors);
+        on the sliced path the stack rows are already history-deflated,
+        so the seeds span only the (deflated) pinned rows.
+        """
+        bases: list[np.ndarray | None] = []
+        pins: list[np.ndarray | None] = []
+        quota: list[tuple | None] = []
+        any_quota = False
+        for b, member in enumerate(members):
+            local_pins = self._local_pins(member)
+            pins.append(local_pins)
+            if stack is None:
+                rows = []
+                if member.history is not None:
+                    rows.append(snap.take_rows(member.history))
+                if member.pins is not None:
+                    rows.append(snap.take_rows(member.pins))
+                basis = (
+                    _orthonormal_columns(np.concatenate(rows)) if rows else None
+                )
+            elif local_pins is not None:
+                basis = _orthonormal_columns(stack[b, local_pins])
+            else:
+                basis = None
+            bases.append(basis)
+            if member.quotas:
+                categories = member.categories
+                if member.candidates is not None:
+                    categories = categories[member.candidates]
+                quota.append((categories, member.quotas))
+                any_quota = True
+            else:
+                quota.append(None)
+        widths = [0 if basis is None else basis.shape[1] for basis in bases]
+        seeds = None
+        if any(widths):
+            seeds = np.zeros(
+                (len(members), max(widths), snap.rank), dtype=np.float64
+            )
+            for b, basis in enumerate(bases):
+                if basis is not None:
+                    seeds[b, : basis.shape[1]] = basis.T
+        return seeds, pins, (quota if any_quota else None)
+
+    def _serve_full_session_group(
+        self,
+        members: list[_Resolved],
+        k: int,
+        mode: str,
+        responses: list,
+        snap: CatalogSnapshot,
+    ) -> None:
+        """The full-catalog group path for session requests.
+
+        One shared batched dual build exactly like the clean path, plus
+        an O(r²h) per-member deflation ``C̃ = (I-UUᵀ) C (I-UUᵀ)`` for
+        history conditioning — the eigenvectors of ``C̃`` with positive
+        eigenvalues lie in the deflated subspace, so the unchanged
+        projector samplers draw from the conditional k-DPP as-is.
+        """
+        factors = snap.factors
+        quality = np.stack([member.quality for member in members])
+        units = [self._session_units(member.history, snap) for member in members]
+        duals = snap.build_duals(quality**2)
+        for b, basis in enumerate(units):
+            if basis is not None:
+                correction = duals[b] @ basis
+                duals[b] -= correction @ basis.T
+                duals[b] -= basis @ (correction.T - (basis.T @ correction) @ basis.T)
+        values, vectors = np.linalg.eigh(duals)
+        eigenvalues = np.clip(values, 0.0, None)
+        log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
+        if mode == "sample":
+            rngs = [self._request_rng(member) for member in members]
+            coefficients = self._phase1_coefficients(
+                eigenvalues, vectors, k, rngs
+            )
+            samples = batched_sample_elementary_shared(
+                factors,
+                quality,
+                coefficients,
+                rngs,
+                gram_products=snap.gram_products(),
+            )
+        else:
+            seeds, pins, quota = self._session_map_inputs(
+                members, units, snap, stack=None
+            )
+            samples = batched_greedy_map_shared_session(
+                factors, quality, k, seeds=seeds, pins=pins, quota=quota
+            )
+        self._emit(
+            members,
+            samples,
+            log_normalizers,
+            quality,
+            None,
+            k,
+            responses,
+            snap,
+            units=units,
+        )
+
+    def _serve_sliced_session_group(
+        self,
+        members: list[_Resolved],
+        k: int,
+        mode: str,
+        responses: list,
+        snap: CatalogSnapshot,
+    ) -> None:
+        """The candidate-slice group path for session requests: the
+        per-request factor stack rows are deflated against the history
+        span (``b̃_i = b_i(I - UUᵀ)``, the low-rank Schur complement of
+        conditioning), then the clean sliced machinery — stacked duals,
+        normalizers, projector sampling — applies verbatim; constrained
+        MAP runs the session greedy over the deflated stack."""
+        candidates = np.stack([member.candidates for member in members])
+        local_quality = np.stack(
+            [member.quality[member.candidates] for member in members]
+        )
+        stack = local_quality[:, :, None] * snap.take_rows(candidates)
+        units = [self._session_units(member.history, snap) for member in members]
+        for b, basis in enumerate(units):
+            if basis is not None:
+                stack[b] -= (stack[b] @ basis) @ basis.T
+        duals = np.matmul(np.swapaxes(stack, 1, 2), stack)
+        eigenvalues, dual_vectors = np.linalg.eigh(duals)
+        eigenvalues = np.clip(eigenvalues, 0.0, None)
+        log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
+        if mode == "sample":
+            rngs = [self._request_rng(member) for member in members]
+            coefficients = self._phase1_coefficients(
+                eigenvalues, dual_vectors, k, rngs
+            )
+            bases = np.matmul(stack, coefficients)
+            samples = batched_sample_elementary_stacked(bases, rngs)
+        else:
+            seeds, pins, quota = self._session_map_inputs(
+                members, units, snap, stack=stack
+            )
+            samples = batched_greedy_map_stacked_session(
+                stack, k, seeds=seeds, pins=pins, quota=quota
+            )
+        self._emit(
+            members, samples, log_normalizers, None, stack, k, responses, snap
+        )
+
     def _emit(
         self,
         members: list[_Resolved],
@@ -503,8 +1003,17 @@ class KDPPServer:
         k: int,
         responses: list,
         snap: CatalogSnapshot,
+        units: list | None = None,
     ) -> None:
-        """Attach log-probabilities and map local picks to catalog ids."""
+        """Attach log-probabilities and map local picks to catalog ids.
+
+        ``units`` (full-catalog session groups only) carries per-member
+        history deflation bases: selected rows are deflated before the
+        stacked ``slogdet`` so reported probabilities are those of the
+        history-*conditioned* kernel, matching the conditioned
+        normalizers.  Sliced session groups pass an already-deflated
+        ``stack`` instead.
+        """
         complete = [
             b
             for b, sample in enumerate(samples)
@@ -517,6 +1026,11 @@ class KDPPServer:
                 rows = snap.factors[picks] * quality[complete][
                     np.arange(len(complete))[:, None], picks
                 ][:, :, None]
+                if units is not None:
+                    for j, b in enumerate(complete):
+                        basis = units[b]
+                        if basis is not None:
+                            rows[j] -= (rows[j] @ basis) @ basis.T
             else:
                 picks = np.array([samples[b] for b in complete], dtype=np.int64)
                 rows = stack[
@@ -566,13 +1080,40 @@ class KDPPServer:
                     member.quality[member.candidates][:, None]
                     * snap.take_rows(member.candidates)
                 )
+            basis = self._session_units(member.history, snap)
+            if basis is not None:
+                # Primal deflation — deliberately a different route than
+                # the batched dual deflation, so the two paths cross-
+                # check the conditioning math, not just each other.
+                factors = factors - (factors @ basis) @ basis.T
             lowrank = LowRankKernel(factors)
             if member.mode == "sample":
                 dpp = KDPP.from_factors(lowrank, member.k)
                 local = dpp.sample(self._request_rng(member))
                 log_probability = dpp.log_subset_probability(local)
             else:
-                local = greedy_map(lowrank, member.k)
+                if member.pins is None and not member.quotas:
+                    local = greedy_map(lowrank, member.k)
+                else:
+                    local_pins = self._local_pins(member)
+                    seeds = None
+                    if local_pins is not None:
+                        pin_basis = _orthonormal_columns(factors[local_pins])
+                        if pin_basis is not None:
+                            seeds = pin_basis.T[None]
+                    quota = None
+                    if member.quotas:
+                        categories = member.categories
+                        if member.candidates is not None:
+                            categories = categories[member.candidates]
+                        quota = [(categories, member.quotas)]
+                    local = batched_greedy_map_stacked_session(
+                        factors[None],
+                        member.k,
+                        seeds=seeds,
+                        pins=[local_pins],
+                        quota=quota,
+                    )[0]
                 if len(local) == member.k:
                     dpp = KDPP.from_factors(lowrank, member.k)
                     log_probability = dpp.log_subset_probability(local)

@@ -1,0 +1,125 @@
+"""Multi-page session state: accumulate shown items, condition the next page.
+
+One :class:`Session` tracks what a user has already been shown and
+builds each next-page :class:`~repro.serving.server.Request` with that
+history attached, so every page is diverse *against the pages before
+it* (the kernel is conditioned on the shown set, see the server module
+docstring) and never repeats an item.  Usage::
+
+    session = Session(user=7, alpha=1.3)
+    for page in range(3):
+        request = session.request(quality, k=10, mode="map")
+        response = server.serve([request])[0]
+        session.record(response)
+
+The caller owns the serving loop — a session works identically through
+:meth:`KDPPServer.serve`, the sharded funnel, or the async runtime's
+``submit`` (record each response when its future resolves, in page
+order).
+
+``window`` bounds the conditioning cost for long sessions: only the
+most recent ``window`` shown items are conditioned out of the kernel
+(one O(r²·h) correction per request), while *all* shown items stay
+excluded from the ground set — forgetting diversity pressure from old
+pages is acceptable, re-showing an item is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .server import Request, Response
+
+__all__ = ["Session"]
+
+
+class Session:
+    """Accumulates shown items across pages of one user's session.
+
+    Parameters
+    ----------
+    user:
+        Forwarded to every built request (lets a
+        :class:`~repro.retrieval.cache.FunnelCache` key the session's
+        funnel pools).
+    alpha:
+        Default diversity strength for every page (overridable per
+        :meth:`request` call).
+    window:
+        When set, only the last ``window`` shown items are *conditioned*
+        out of the kernel; every shown item is always *excluded* from
+        selection regardless.
+    """
+
+    def __init__(
+        self,
+        user: int | None = None,
+        alpha: float = 1.0,
+        window: int | None = None,
+    ) -> None:
+        if window is not None and window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        self.user = user
+        self.alpha = alpha
+        self.window = window
+        self._shown: list[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def shown(self) -> list[int]:
+        """Every item shown so far, in page order."""
+        return list(self._shown)
+
+    @property
+    def history(self) -> np.ndarray | None:
+        """The conditioning window: the last ``window`` shown items
+        (all of them when no window is set), or None before page one."""
+        if not self._shown:
+            return None
+        shown = self._shown
+        if self.window is not None:
+            shown = shown[-self.window :]
+        return np.asarray(shown, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def request(self, quality: np.ndarray, k: int, mode: str = "map", **fields) -> Request:
+        """The next page's request: session history and identity attached.
+
+        ``fields`` pass through to :class:`Request` (``seed``,
+        ``exclude``, ``pins``, ``quotas``, ...); ``alpha`` defaults to
+        the session's.  Items shown on earlier pages but outside the
+        conditioning window are folded into ``exclude`` so they can
+        never be re-shown.
+        """
+        fields.setdefault("alpha", self.alpha)
+        fields.setdefault("user", self.user)
+        history = self.history
+        if history is not None and len(history) < len(self._shown):
+            forgotten = np.asarray(
+                self._shown[: len(self._shown) - len(history)], dtype=np.int64
+            )
+            exclude = fields.get("exclude")
+            if exclude is not None:
+                forgotten = np.concatenate(
+                    [np.asarray(exclude, dtype=np.int64), forgotten]
+                )
+            fields["exclude"] = forgotten
+        return Request(quality=quality, k=k, mode=mode, history=history, **fields)
+
+    def record(self, shown) -> "Session":
+        """Append a served page — a :class:`Response` or an id iterable.
+
+        Returns the session for chaining.  Recording is what advances
+        the session; a request built but never recorded (e.g. a failed
+        serve) leaves the state untouched.
+        """
+        items = shown.items if isinstance(shown, Response) else shown
+        self._shown.extend(int(item) for item in items)
+        return self
+
+    def reset(self) -> None:
+        """Forget all shown items (a new session for the same user)."""
+        self._shown.clear()
+
+    def __len__(self) -> int:
+        return len(self._shown)

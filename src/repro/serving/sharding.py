@@ -56,19 +56,21 @@ generations.
 from __future__ import annotations
 
 import threading
+from dataclasses import replace as dataclass_replace
 from typing import Sequence
 
 import numpy as np
 
 from ..retrieval import CandidateSource, ExactTopK, FunnelCache
-from ..retrieval.cache import exclusion_token
+from ..retrieval.cache import session_token
 from ..utils.topk import top_k_indices
 from .catalog import CatalogSnapshot, VersionedExtensions
+from .config import UNSET, ServingConfig, resolve_config
 from .server import (
     KDPPServer,
     Request,
     effective_request_quality,
-    validate_request_mode_and_k,
+    extend_pool_for_constraints,
 )
 
 __all__ = ["ShardedCatalog", "ShardedSnapshot", "ShardedKDPPServer"]
@@ -260,17 +262,26 @@ class ShardedKDPPServer(KDPPServer):
     def __init__(
         self,
         catalog: ShardedCatalog,
-        funnel_width: int = 32,
-        rerank_pool: int = 100,
-        source: CandidateSource | None = None,
-        funnel_cache: FunnelCache | None = None,
+        funnel_width: int = UNSET,
+        rerank_pool: int = UNSET,
+        source: CandidateSource | None = UNSET,
+        funnel_cache: FunnelCache | None = UNSET,
+        config: ServingConfig | None = None,
     ) -> None:
-        super().__init__(catalog, rerank_pool=rerank_pool)  # type: ignore[arg-type]
-        if funnel_width < 1:
-            raise ValueError(f"funnel_width must be positive, got {funnel_width}")
-        self.funnel_width = funnel_width
-        self.source = source if source is not None else ExactTopK()
-        self.funnel_cache = funnel_cache
+        config = resolve_config(
+            config,
+            {
+                "funnel_width": funnel_width,
+                "rerank_pool": rerank_pool,
+                "source": source,
+                "funnel_cache": funnel_cache,
+            },
+            type(self).__name__,
+        )
+        super().__init__(catalog, config=config)  # type: ignore[arg-type]
+        self.funnel_width = config.funnel_width
+        self.source = config.source if config.source is not None else ExactTopK()
+        self.funnel_cache = config.funnel_cache
 
     # ------------------------------------------------------------------
     def _funnel_pools(
@@ -292,11 +303,13 @@ class ShardedKDPPServer(KDPPServer):
         tokens: list[int | None] = [None] * len(members)
         for row, (_, request, quality) in enumerate(members):
             if cache is not None and request.user is not None:
-                # Exclusions are zeroed into the quality the funnel
-                # sees, so they are part of the pool's identity — the
-                # token keys them exactly (the strided quality
-                # fingerprint alone could miss a few zeroed entries).
-                tokens[row] = exclusion_token(request.exclude)
+                # Exclusions and session history are zeroed into the
+                # quality the funnel sees, so they are part of the
+                # pool's identity — the token keys them exactly (the
+                # strided quality fingerprint alone could miss a few
+                # zeroed entries, and a cached pool must never
+                # resurface an already-shown item).
+                tokens[row] = session_token(request.exclude, request.history)
                 hit = cache.get(
                     request.user, snap.version, width, quality, tokens[row]
                 )
@@ -334,7 +347,7 @@ class ShardedKDPPServer(KDPPServer):
         lowered: list[Request | None] = [None] * len(requests)
         by_width: dict[int, list[tuple[int, Request, np.ndarray]]] = {}
         for index, request in enumerate(requests):
-            validate_request_mode_and_k(request, index)
+            request.validate(snap.num_items, index)
             if request.candidates is not None:
                 # Caller-specified slices bypass the funnel untouched
                 # (the engine validates and serves them as-is).
@@ -364,6 +377,17 @@ class ShardedKDPPServer(KDPPServer):
                     mode = "map"
                 else:
                     pool, mode = pools[row], request.mode
+                # Constraint extras join *after* the cache/rerank stage:
+                # the cached pool stays the pure funnel output (reusable
+                # across constraint changes) while pins and quota'd
+                # categories are guaranteed pool membership.
+                pool = extend_pool_for_constraints(
+                    pool,
+                    quality,
+                    request.pins,
+                    request.quotas,
+                    request.categories,
+                )
                 lowered[index] = Request(
                     quality=quality,
                     k=request.k,
@@ -371,6 +395,11 @@ class ShardedKDPPServer(KDPPServer):
                     candidates=pool,
                     seed=request.seed,
                     user=request.user,
+                    alpha=request.alpha,
+                    history=request.history,
+                    pins=request.pins,
+                    quotas=request.quotas,
+                    categories=request.categories,
                 )
         return lowered  # type: ignore[return-value]
 
@@ -387,11 +416,14 @@ class ShardedKDPPServer(KDPPServer):
     @staticmethod
     def _restamp_modes(requests: Sequence[Request], responses: list) -> list:
         """Report the caller's mode for funnel-lowered rerank requests
-        (the engine saw them as ``map`` over an explicit slice)."""
-        for request, response in zip(requests, responses):
-            if request.mode == "topk-rerank" and request.candidates is None:
-                response.mode = "topk-rerank"
-        return responses
+        (the engine saw them as ``map`` over an explicit slice).
+        ``Response`` is frozen, so restamping builds replacements."""
+        return [
+            dataclass_replace(response, mode="topk-rerank")
+            if request.mode == "topk-rerank" and request.candidates is None
+            else response
+            for request, response in zip(requests, responses)
+        ]
 
     # ------------------------------------------------------------------
     def serve(

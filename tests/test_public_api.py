@@ -1,0 +1,97 @@
+"""Public-surface snapshot: accidental API changes must fail CI.
+
+``repro.serving`` and ``repro.retrieval`` are the packages external
+callers import from; their ``__all__`` is the supported surface.  This
+test pins the exact contents — adding a name is a deliberate one-line
+diff here, removing or renaming one is a breaking change that should
+never happen by accident.
+"""
+
+import dataclasses
+
+import repro.retrieval
+import repro.serving
+
+SERVING_API = {
+    "CatalogSnapshot",
+    "ItemCatalog",
+    "KDPPServer",
+    "Request",
+    "Response",
+    "REQUEST_MODES",
+    "ServingConfig",
+    "Session",
+    "MicroBatcher",
+    "ServingRuntime",
+    "ShardedCatalog",
+    "ShardedKDPPServer",
+    "ShardedSnapshot",
+    "RecommenderBridge",
+    "quality_from_scores",
+}
+
+RETRIEVAL_API = {
+    "CandidateSource",
+    "ExactTopK",
+    "QuantileFunnel",
+    "IVFIndex",
+    "FunnelCache",
+    "exclusion_token",
+    "session_token",
+    "shard_offsets",
+    "shard_snapshots",
+}
+
+
+def test_serving_public_surface_is_pinned():
+    assert set(repro.serving.__all__) == SERVING_API
+    for name in SERVING_API:
+        assert getattr(repro.serving, name) is not None
+
+
+def test_retrieval_public_surface_is_pinned():
+    assert set(repro.retrieval.__all__) == RETRIEVAL_API
+    for name in RETRIEVAL_API:
+        assert getattr(repro.retrieval, name) is not None
+
+
+def test_request_and_response_shapes():
+    """The request/response dataclass fields are API too."""
+    request_fields = {f.name for f in dataclasses.fields(repro.serving.Request)}
+    assert {
+        "quality",
+        "k",
+        "mode",
+        "exclude",
+        "candidates",
+        "seed",
+        "user",
+        "rerank_pool",
+        "alpha",
+        "history",
+        "pins",
+        "quotas",
+        "categories",
+    } <= request_fields
+    response = dataclasses.fields(repro.serving.Response)
+    assert {f.name for f in response} >= {
+        "items",
+        "log_probability",
+        "mode",
+        "k",
+        "version",
+        "cached",
+    }
+    # Frozen responses: the dataclass params say so.
+    assert repro.serving.Response.__dataclass_params__.frozen
+    config_fields = {f.name for f in dataclasses.fields(repro.serving.ServingConfig)}
+    assert config_fields == {
+        "rerank_pool",
+        "funnel_width",
+        "max_batch",
+        "max_wait",
+        "workers",
+        "clock",
+        "source",
+        "funnel_cache",
+    }

@@ -1,0 +1,296 @@
+"""Overload benchmark: the degradation ladder under ~2x saturation.
+
+``benchmarks/bench_runtime.py`` measures the runtime *below* capacity;
+this benchmark measures what happens when offered load exceeds it — the
+regime PR 7's resilience layer exists for.  A paced injector measures
+the engine's batched per-request capacity, then submits requests
+**open-loop at ~2x that rate** (a closed loop cannot oversaturate: its
+clients block on their own futures) against two runtimes:
+
+* **ladder on** — ``queue_cap`` + ``overload_policy="degrade"`` and a
+  per-request ``deadline``: admissions past the cap walk the
+  degradation ladder (``sample → map → topk-rerank → quality-topk``),
+  requests whose budget ran out are failed with the structured
+  ``DeadlineExceeded`` instead of being served late;
+* **ladder off** — no cap, no deadlines: the PR 6 behavior, where the
+  queue grows without bound for as long as the overload lasts and every
+  request is eventually served exactly, arbitrarily late.
+
+Recorded per run: resolution-latency percentiles (submit → future
+resolved, shed requests included — a fast structured failure *is* the
+product under overload), served/degraded/shed counts, the peak queue
+depth, and ``unhandled`` — futures that resolved with anything other
+than a ``Response`` or a ``ServingError``.  The CI-guarded contract:
+
+* ladder on sheds or degrades (the overload is real) with **zero
+  unhandled errors**, and its p99 and peak queue depth stay **below**
+  the ladder-off run's (bounded latency vs unbounded queue growth);
+* ladder off serves every request exactly (``degraded == 0``) — the
+  ladder never activates on an unconfigured runtime.
+
+Entry points:
+
+* ``pytest benchmarks/bench_overload.py`` — the CI guard above.
+* ``python benchmarks/bench_overload.py [--output ...]`` — the JSON
+  baseline writer behind ``BENCH_overload.json``.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) to shrink the
+workload to import-and-run-path coverage.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ is None and __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.serving import (
+    ItemCatalog,
+    Request,
+    ServingConfig,
+    ServingError,
+    ServingRuntime,
+)
+from repro.utils.timing import latency_percentiles
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _settings():
+    if _smoke():
+        return dict(
+            num_items=2048, rank=16, k=5, num_users=16, max_batch=16,
+            total_requests=600, overload_factor=2.0, queue_cap=16,
+            deadline_ms=50.0,
+        )
+    return dict(
+        num_items=20_000, rank=32, k=10, num_users=64, max_batch=32,
+        total_requests=1500, overload_factor=2.0, queue_cap=64,
+        deadline_ms=150.0,
+    )
+
+
+def make_world(settings, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(settings["num_items"], settings["rank"]))
+    factors /= np.linalg.norm(factors, axis=1, keepdims=True)
+    quality = np.exp(
+        rng.normal(scale=0.5, size=(settings["num_users"], settings["num_items"]))
+    )
+    return factors, quality
+
+
+def _calibrate(runtime: ServingRuntime, quality: np.ndarray, settings) -> float:
+    """Batched per-request engine cost (seconds) — the capacity unit.
+
+    A saturated worker drains full batches, so full-batch serving *is*
+    the service rate the injector needs to beat.
+    """
+    batch = [
+        Request(
+            quality=quality[b % quality.shape[0]],
+            k=settings["k"],
+            mode="sample",
+            seed=7000 + b,
+        )
+        for b in range(settings["max_batch"])
+    ]
+    runtime.serve_now(batch)  # warm caches/spectra outside the timed region
+    times = []
+    for _ in range(3):
+        begin = time.perf_counter()
+        runtime.serve_now(batch)
+        times.append(time.perf_counter() - begin)
+    return min(times) / len(batch)
+
+
+# ----------------------------------------------------------------------
+# One overload run
+# ----------------------------------------------------------------------
+def run_overload(settings, factors, quality, ladder: bool) -> dict:
+    """Paced open-loop injection at ``overload_factor``x capacity."""
+    config = ServingConfig(
+        workers=1,
+        max_batch=settings["max_batch"],
+        max_wait=0.001,
+        queue_cap=settings["queue_cap"] if ladder else None,
+        overload_policy="degrade",
+    )
+    deadline_s = settings["deadline_ms"] / 1e3 if ladder else None
+    latencies: list[float] = []
+    futures = []
+    with ServingRuntime(ItemCatalog(factors), config=config) as runtime:
+        per_request = _calibrate(runtime, quality, settings)
+        interval = per_request / settings["overload_factor"]
+        begin = time.perf_counter()
+        for i in range(settings["total_requests"]):
+            lag = begin + i * interval - time.perf_counter()
+            if lag > 0:
+                time.sleep(lag)
+            request = Request(
+                quality=quality[i % quality.shape[0]],
+                k=settings["k"],
+                mode="sample",
+                seed=i,
+                deadline=(
+                    time.monotonic() + deadline_s if deadline_s is not None else None
+                ),
+            )
+            submitted = time.perf_counter()
+            future = runtime.submit(request)
+            future.add_done_callback(
+                lambda f, t0=submitted: latencies.append(time.perf_counter() - t0)
+            )
+            futures.append(future)
+        injection_s = time.perf_counter() - begin
+        runtime.close()  # drain=True: the backlog is served before stats
+        total_s = time.perf_counter() - begin
+        stats = runtime.stats
+
+    served = degraded = shed = unhandled = 0
+    shed_by_type: dict[str, int] = {}
+    for future in futures:
+        error = future.exception()
+        if error is None:
+            served += 1
+            if future.result().degraded:
+                degraded += 1
+        elif isinstance(error, ServingError):
+            shed += 1
+            name = type(error).__name__
+            shed_by_type[name] = shed_by_type.get(name, 0) + 1
+        else:  # anything unstructured escaping under overload is a bug
+            unhandled += 1
+    quantiles = latency_percentiles(latencies, (50.0, 99.0))
+    return {
+        "ladder": ladder,
+        "offered_per_s": settings["total_requests"] / injection_s,
+        "per_request_capacity_ms": per_request * 1e3,
+        "injection_s": injection_s,
+        "total_s": total_s,
+        "p50_ms": quantiles["p50"] * 1e3,
+        "p99_ms": quantiles["p99"] * 1e3,
+        "served": served,
+        "degraded": degraded,
+        "shed": shed,
+        "shed_by_type": shed_by_type,
+        "unhandled": unhandled,
+        "max_queue_depth": stats["max_queue_depth"],
+        "degraded_admissions": stats["degraded_admissions"],
+        "quality_topk_served": stats["resilience"]["quality_topk_served"],
+        "deadline_exceeded": stats["resilience"]["deadline_exceeded"],
+    }
+
+
+def run_comparison(settings) -> dict:
+    factors, quality = make_world(settings)
+    with_ladder = run_overload(settings, factors, quality, ladder=True)
+    without = run_overload(settings, factors, quality, ladder=False)
+    return {
+        "ladder_on": with_ladder,
+        "ladder_off": without,
+        "p99_ratio_off_over_on": without["p99_ms"] / with_ladder["p99_ms"],
+        "depth_ratio_off_over_on": (
+            without["max_queue_depth"] / max(with_ladder["max_queue_depth"], 1)
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest target and CI guard
+# ----------------------------------------------------------------------
+def test_ladder_bounds_p99_and_sheds_cleanly_at_2x_saturation():
+    """CI guard: at ~2x offered saturation the ladder must activate,
+    shed only structured errors, and keep both p99 and peak queue depth
+    below the unbounded (ladder-off) run's."""
+    comparison = run_comparison(_settings())
+    on, off = comparison["ladder_on"], comparison["ladder_off"]
+    # The overload was real and the ladder answered it.
+    assert on["degraded"] + on["shed"] > 0, f"ladder never activated: {on}"
+    # Nothing unstructured escaped — shed requests fail with the taxonomy.
+    assert on["unhandled"] == 0, f"unhandled errors under overload: {on}"
+    assert off["unhandled"] == 0, f"unhandled errors in the baseline: {off}"
+    # Off: every request eventually served exactly — the ladder is
+    # genuinely opt-in — at the price of unbounded queue growth.
+    assert off["degraded"] == 0 and off["shed"] == 0
+    assert off["served"] == _settings()["total_requests"]
+    # Bounded tail vs unbounded backlog.
+    assert on["p99_ms"] < off["p99_ms"], (
+        f"ladder did not bound p99: on {on['p99_ms']:.1f} ms "
+        f"vs off {off['p99_ms']:.1f} ms"
+    )
+    assert on["max_queue_depth"] < off["max_queue_depth"], (
+        f"ladder did not bound the queue: on depth {on['max_queue_depth']} "
+        f"vs off {off['max_queue_depth']}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Standalone baseline writer
+# ----------------------------------------------------------------------
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON baseline here (default: print only)",
+    )
+    args = parser.parse_args(argv)
+    settings = _settings()
+
+    results = {
+        "workload": (
+            "overload safety: paced open-loop injection at ~2x engine "
+            "capacity, degradation ladder + deadlines vs unbounded queue"
+        ),
+        "settings": dict(settings),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+    print(f"== overload at ~{settings['overload_factor']:g}x capacity "
+          f"(N={settings['total_requests']}) ==")
+    comparison = run_comparison(settings)
+    results["overload"] = {
+        key: (
+            {
+                inner: (value if isinstance(value, (dict, bool)) else round(value, 6))
+                for inner, value in entry.items()
+            }
+            if isinstance(entry, dict)
+            else round(entry, 3)
+        )
+        for key, entry in comparison.items()
+    }
+    for label in ("ladder_on", "ladder_off"):
+        entry = comparison[label]
+        print(
+            f"{label:>11}: p50 {entry['p50_ms']:>7.1f} / "
+            f"p99 {entry['p99_ms']:>8.1f} ms  "
+            f"served {entry['served']} (degraded {entry['degraded']}), "
+            f"shed {entry['shed']}, unhandled {entry['unhandled']}, "
+            f"peak queue {entry['max_queue_depth']}"
+        )
+    print(
+        f"{'contrast':>11}: p99 off/on "
+        f"{comparison['p99_ratio_off_over_on']:.1f}x, peak-queue off/on "
+        f"{comparison['depth_ratio_off_over_on']:.1f}x"
+    )
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nbaseline written to {args.output}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -98,6 +98,16 @@ class CandidateSource:
         self._rows = 0
         self._fallback_rows = 0
         self._time_s = 0.0
+        # Fault-injection hooks (both None in production).  They are
+        # plain attributes — not constructor arguments — so a harness
+        # (``repro.serving.resilience.FaultPlan.attach``) can arm any
+        # already-built source without this package ever importing the
+        # serving layer.  ``fault_hook(name, batch_rows)`` runs at every
+        # ``pools()`` entry and may raise or delay; ``shard_hook(shard)``
+        # is ticked by implementations once per shard pass (the
+        # slow-shard lever of the chaos tests).
+        self.fault_hook = None
+        self.shard_hook = None
 
     # ------------------------------------------------------------------
     def pools(self, quality: np.ndarray, width: int, snapshot) -> np.ndarray:
@@ -115,6 +125,9 @@ class CandidateSource:
             )
         if width < 1:
             raise ValueError(f"funnel width must be positive, got {width}")
+        hook = self.fault_hook
+        if hook is not None:
+            hook(self.name, int(quality.shape[0]))
         start = time.perf_counter()
         out, fallbacks = self._pools(quality, width, snapshot)
         elapsed = time.perf_counter() - start
@@ -130,6 +143,13 @@ class CandidateSource:
     ) -> tuple[np.ndarray, int]:
         """Implementation hook: return ``(pools, fallback_row_count)``."""
         raise NotImplementedError
+
+    def _shard_tick(self, shard: int) -> None:
+        """Implementations call this once per shard pass so an armed
+        ``shard_hook`` can inject per-shard latency deterministically."""
+        hook = self.shard_hook
+        if hook is not None:
+            hook(shard)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

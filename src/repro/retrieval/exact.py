@@ -31,6 +31,7 @@ class ExactTopK(CandidateSource):
         offsets = shard_offsets(snapshot)
         parts = []
         for s in range(offsets.shape[0] - 1):
+            self._shard_tick(s)
             lo, hi = int(offsets[s]), int(offsets[s + 1])
             local_width = min(width, hi - lo)
             parts.append(top_k_indices_rows(quality[:, lo:hi], local_width) + lo)

@@ -165,6 +165,7 @@ class IVFIndex(CandidateSource):
         parts = []
         fallback_rows = 0
         for s, shard in enumerate(shards):
+            self._shard_tick(s)
             lo, hi = int(offsets[s]), int(offsets[s + 1])
             size = hi - lo
             local_width = min(width, size)

@@ -116,14 +116,16 @@ class QuantileFunnel(CandidateSource):
         if int(sizes.min()) <= max(width, self.sketch_size):
             # Degenerate geometry: mask + sketch cannot pay for
             # themselves (see module docstring) — serve exactly.
-            parts = [
-                top_k_indices_rows(
-                    quality[:, offsets[s] : offsets[s + 1]],
-                    min(width, int(sizes[s])),
+            parts = []
+            for s in range(num_shards):
+                self._shard_tick(s)
+                parts.append(
+                    top_k_indices_rows(
+                        quality[:, offsets[s] : offsets[s + 1]],
+                        min(width, int(sizes[s])),
+                    )
+                    + int(offsets[s])
                 )
-                + int(offsets[s])
-                for s in range(num_shards)
-            ]
             return np.concatenate(parts, axis=1), batch
         sketch = self._sketch(snapshot)
         sketch_size = sketch.shape[1]
@@ -146,6 +148,7 @@ class QuantileFunnel(CandidateSource):
         # searchsorted against the flat indices (no second scan).
         mask = np.empty((batch, total), dtype=bool)
         for s in range(num_shards):
+            self._shard_tick(s)
             lo, hi = int(offsets[s]), int(offsets[s + 1])
             np.greater_equal(
                 quality[:, lo:hi], cutoffs[:, s, None], out=mask[:, lo:hi]

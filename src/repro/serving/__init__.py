@@ -38,11 +38,34 @@ diversity strength ``alpha``, cross-page ``history`` conditioning via
 :class:`~repro.serving.session.Session`, constrained MAP (``pins`` /
 ``quotas``) — and consolidates the stack's constructor knobs into one
 :class:`~repro.serving.config.ServingConfig`.
+
+Overload safety (PR 7) lives in :mod:`repro.serving.resilience`:
+bounded admission (``queue_cap`` / ``overload_policy``), per-request
+deadline budgets (``Request.deadline``), the degradation ladder
+(:data:`~repro.serving.resilience.DEGRADATION_LADDER`, with every shed
+or degraded response stamped via ``Response.degraded`` /
+``Response.served_mode``), circuit breakers around approximate
+retrieval sources (:class:`~repro.serving.resilience.BreakerSource`),
+the structured :class:`~repro.serving.resilience.ServingError` taxonomy
+and the deterministic :class:`~repro.serving.resilience.FaultPlan`
+chaos harness.
 """
 
 from .bridge import RecommenderBridge, quality_from_scores
 from .catalog import CatalogSnapshot, ItemCatalog
 from .config import ServingConfig
+from .resilience import (
+    DEGRADATION_LADDER,
+    BreakerSource,
+    CircuitBreaker,
+    DeadlineExceeded,
+    FaultPlan,
+    OverloadError,
+    ServingError,
+    ShutdownError,
+    SourceUnavailable,
+    TransientError,
+)
 from .runtime import ServingRuntime
 from .scheduler import MicroBatcher
 from .server import REQUEST_MODES, KDPPServer, Request, Response
@@ -65,4 +88,14 @@ __all__ = [
     "ShardedSnapshot",
     "RecommenderBridge",
     "quality_from_scores",
+    "ServingError",
+    "OverloadError",
+    "DeadlineExceeded",
+    "SourceUnavailable",
+    "ShutdownError",
+    "TransientError",
+    "BreakerSource",
+    "CircuitBreaker",
+    "FaultPlan",
+    "DEGRADATION_LADDER",
 ]

@@ -22,6 +22,7 @@ service needs:
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from collections import OrderedDict
 from typing import Sequence
@@ -333,13 +334,11 @@ class RecommenderBridge:
                 with self._cache_lock:
                     self.cache_misses += 1
             if cached is not None:
-                responses[position] = Response(
-                    items=list(cached.items),
-                    log_probability=cached.log_probability,
-                    mode=cached.mode,
-                    k=cached.k,
-                    cached=True,
-                    version=cached.version,
+                # dataclasses.replace keeps every Response field (the
+                # overload stamps included) without re-listing them; the
+                # item list is copied because the caller owns it.
+                responses[position] = dataclasses.replace(
+                    cached, items=list(cached.items), cached=True
                 )
                 continue
             pending.append((position, key))
@@ -355,12 +354,8 @@ class RecommenderBridge:
                 if key is not None:
                     # Store a private copy: the caller owns the returned
                     # Response and may mutate its item list.
-                    entry = Response(
-                        items=list(response.items),
-                        log_probability=response.log_probability,
-                        mode=response.mode,
-                        k=response.k,
-                        version=response.version,
+                    entry = dataclasses.replace(
+                        response, items=list(response.items), cached=False
                     )
                     with self._cache_lock:
                         self._cache[key] = entry

@@ -52,6 +52,26 @@ class ServingConfig:
         Candidate-generation plug-ins for the sharded funnel: any
         :class:`~repro.retrieval.base.CandidateSource` and an optional
         :class:`~repro.retrieval.cache.FunnelCache`.
+    queue_cap / overload_policy:
+        Admission control (:mod:`repro.serving.resilience`).
+        ``queue_cap=None`` (default) means unbounded admission — the
+        pre-resilience behavior.  With a cap, a submit that finds the
+        queue at or past it is handled per ``overload_policy``:
+        ``"reject"`` raises a structured
+        :class:`~repro.serving.resilience.OverloadError`, ``"degrade"``
+        (the default policy) admits the request with queue-pressure
+        rungs that walk it down the degradation ladder.
+    publish_retries / publish_backoff:
+        Retry budget for transient :meth:`ServingRuntime.publish`
+        failures (:class:`~repro.serving.resilience.TransientError`):
+        up to ``publish_retries`` retries with exponential backoff
+        starting at ``publish_backoff`` seconds (slept through the
+        injected clock when it is a manual one).
+    fault_plan:
+        An optional :class:`~repro.serving.resilience.FaultPlan`; the
+        runtime wires its deterministic fault hooks through the whole
+        stack (chaos tests and the overload benchmark only — leave
+        ``None`` in production).
     """
 
     rerank_pool: int = 100
@@ -62,6 +82,11 @@ class ServingConfig:
     clock: Callable[[], float] | None = None
     source: Any | None = None
     funnel_cache: Any | None = None
+    queue_cap: int | None = None
+    overload_policy: str = "degrade"
+    publish_retries: int = 2
+    publish_backoff: float = 0.05
+    fault_plan: Any | None = None
 
     def __post_init__(self) -> None:
         if self.rerank_pool < 1:
@@ -80,6 +105,24 @@ class ServingConfig:
             )
         if self.workers < 0:
             raise ValueError(f"workers must be non-negative, got {self.workers}")
+        if self.queue_cap is not None and self.queue_cap < 1:
+            raise ValueError(
+                f"queue_cap must be positive (or None for unbounded), "
+                f"got {self.queue_cap}"
+            )
+        if self.overload_policy not in ("reject", "degrade"):
+            raise ValueError(
+                "overload_policy must be 'reject' or 'degrade', "
+                f"got {self.overload_policy!r}"
+            )
+        if self.publish_retries < 0:
+            raise ValueError(
+                f"publish_retries must be non-negative, got {self.publish_retries}"
+            )
+        if self.publish_backoff < 0:
+            raise ValueError(
+                f"publish_backoff must be non-negative, got {self.publish_backoff}"
+            )
 
     def replace(self, **changes) -> "ServingConfig":
         """A copy with ``changes`` applied (re-validated)."""

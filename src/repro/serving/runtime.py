@@ -34,6 +34,7 @@ factor generations.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Future
 from typing import Callable, Sequence
 
@@ -41,6 +42,7 @@ import numpy as np
 
 from .catalog import ItemCatalog
 from .config import UNSET, ServingConfig, resolve_config
+from .resilience import AdmittedRequest, ResilientServer, TransientError
 from .scheduler import MicroBatcher
 from .server import KDPPServer, Request, Response
 from .sharding import ShardedCatalog, ShardedKDPPServer
@@ -120,7 +122,23 @@ class ServingRuntime:
                 "the default server) or to your own server, not both"
             )
         self.server = server
-        self._batcher = MicroBatcher.from_config(self._serve_tagged, config)
+        # The resilience layer sits between the batcher and the engine:
+        # deadline budgets, the degradation ladder, and fault-injection
+        # hooks (no-op on the default no-pressure path — parity-pinned).
+        clock = config.clock if config.clock is not None else time.monotonic
+        self._clock = clock
+        self._fault_plan = config.fault_plan
+        self._resilient = ResilientServer(
+            server, clock=clock, fault_plan=config.fault_plan
+        )
+        if config.fault_plan is not None:
+            source = getattr(server, "source", None)
+            if source is not None:
+                config.fault_plan.attach(source)
+        self._publish_retries = 0
+        self._batcher = MicroBatcher.from_config(
+            self._serve_tagged, config, on_overload=self._on_overload
+        )
 
     @classmethod
     def from_config(
@@ -133,8 +151,17 @@ class ServingRuntime:
         spelling; ``config=None`` means all defaults)."""
         return cls(catalog, server=server, config=config)
 
-    def _serve_tagged(self, requests: list[Request], snapshot) -> Sequence[Response]:
-        return self.server.serve(requests, snapshot=snapshot)
+    def _serve_tagged(
+        self, admitted: list[AdmittedRequest], snapshot
+    ) -> Sequence:
+        return self._resilient.serve_admitted(admitted, snapshot)
+
+    def _on_overload(self, item: AdmittedRequest, depth: int) -> None:
+        """Degrade-policy callback: each full multiple of the cap in the
+        queue is one more degradation-ladder rung (cap → 1 rung,
+        2×cap → 2, ...) — pressure scales with how far behind we are."""
+        cap = self.config.queue_cap
+        item.pressure += 1 + (depth - cap) // cap
 
     # ------------------------------------------------------------------
     # Admission
@@ -144,13 +171,24 @@ class ServingRuntime:
 
         The catalog snapshot is captured here — at admission — so a
         concurrent :meth:`publish` never retroactively changes what an
-        already-queued request serves against.
+        already-queued request serves against.  ``request.deadline``
+        rides along: the batcher caps retry work with it, the resilience
+        layer degrades or sheds against it.
         """
-        return self._batcher.submit(request, tag=self.catalog.snapshot())
+        return self._batcher.submit(
+            AdmittedRequest(request),
+            tag=self.catalog.snapshot(),
+            deadline=request.deadline,
+        )
 
     def submit_many(self, requests: Sequence[Request]) -> list[Future]:
         snapshot = self.catalog.snapshot()
-        return [self._batcher.submit(request, tag=snapshot) for request in requests]
+        return [
+            self._batcher.submit(
+                AdmittedRequest(request), tag=snapshot, deadline=request.deadline
+            )
+            for request in requests
+        ]
 
     def serve_now(self, requests: Sequence[Request]) -> list[Response]:
         """Bypass admission: serve synchronously on the caller's thread
@@ -168,8 +206,32 @@ class ServingRuntime:
         attached funnel cache is invalidated down to the new version —
         correctness never depends on it (cache keys carry the version),
         but the displaced generation's pools are reclaimed eagerly.
+
+        Transient failures (:class:`TransientError`, e.g. a publish race
+        injected by a fault plan) are retried up to
+        ``config.publish_retries`` times with exponential backoff from
+        ``config.publish_backoff`` — slept through the injected clock
+        when it is a manual one, so chaos tests never block on wall
+        time.  Non-transient errors propagate immediately.
         """
-        version = self.catalog.publish(factors)
+        delay = self.config.publish_backoff
+        for attempt in range(self.config.publish_retries + 1):
+            try:
+                if self._fault_plan is not None:
+                    self._fault_plan.publish_tick()
+                version = self.catalog.publish(factors)
+                break
+            except TransientError:
+                if attempt == self.config.publish_retries:
+                    raise
+                self._publish_retries += 1
+                if delay > 0:
+                    advance = getattr(self._clock, "advance", None)
+                    if advance is not None:
+                        advance(delay)
+                    else:
+                        time.sleep(delay)
+                    delay *= 2
         cache = getattr(self.server, "funnel_cache", None)
         if cache is not None:
             cache.invalidate(keep_version=version)
@@ -204,10 +266,19 @@ class ServingRuntime:
             # two halves of the pre-kernel request cost, split out so
             # the retrieval benchmark can attribute wins correctly.
             stats["retrieval"] = retrieval()
+        # Degradation / shed accounting, and the running per-mode cost
+        # estimates the deadline-budget check degrades against.
+        stats["resilience"] = self._resilient.stats()
+        stats["publish_retries"] = self._publish_retries
+        if self._fault_plan is not None:
+            stats["faults_injected"] = self._fault_plan.stats()
         return stats
 
-    def close(self) -> None:
-        self._batcher.close()
+    def close(self, drain: bool = True) -> None:
+        """Close the batcher: ``drain=True`` serves queued requests,
+        ``drain=False`` fails them with :class:`ShutdownError` (see
+        :meth:`MicroBatcher.close`)."""
+        self._batcher.close(drain=drain)
 
     def __enter__(self) -> "ServingRuntime":
         return self

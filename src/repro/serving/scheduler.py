@@ -32,7 +32,22 @@ under).
 
 Error isolation: if a batch serve raises (e.g. one request fails
 validation), the batch is retried request by request so only the
-offending futures carry the exception.
+offending futures carry the exception (``retries`` /
+``isolated_failures`` in :attr:`MicroBatcher.stats` count this work);
+entries whose deadline already passed are failed with
+:class:`~repro.serving.resilience.DeadlineExceeded` instead of being
+re-served.  The backend may also return *exception instances* in place
+of responses — the per-request error channel the resilience layer uses
+to shed one request without poisoning its batch.
+
+Admission control (``queue_cap`` / ``overload_policy``): a submit that
+finds the queue at or past the cap either raises a structured
+:class:`~repro.serving.resilience.OverloadError` (``"reject"``) or is
+admitted through the ``on_overload`` callback (``"degrade"`` — the
+runtime uses it to add degradation-ladder pressure).  Submitting to a
+closed batcher raises :class:`~repro.serving.resilience.ShutdownError`,
+and :meth:`close` never strands a queued future: it is drained
+(``drain=True``, the default) or failed with ``ShutdownError``.
 """
 
 from __future__ import annotations
@@ -42,17 +57,22 @@ import time
 from concurrent.futures import Future
 from typing import Any, Callable, Sequence
 
+from .resilience import DeadlineExceeded, OverloadError, ShutdownError
+
 __all__ = ["MicroBatcher"]
 
 
 class _Pending:
-    __slots__ = ("request", "tag", "future", "admitted")
+    __slots__ = ("request", "tag", "future", "admitted", "deadline")
 
-    def __init__(self, request, tag, future, admitted: float) -> None:
+    def __init__(
+        self, request, tag, future, admitted: float, deadline: float | None = None
+    ) -> None:
         self.request = request
         self.tag = tag
         self.future = future
         self.admitted = admitted
+        self.deadline = deadline
 
 
 class MicroBatcher:
@@ -78,6 +98,12 @@ class MicroBatcher:
         Monotonic time source; inject a manual clock for determinism.
         Threaded waiting assumes clock seconds are wall seconds, so
         manual clocks belong with ``workers=0``.
+    queue_cap / overload_policy / on_overload:
+        Admission control (see the module docstring).  ``on_overload``
+        is only consulted under the ``"degrade"`` policy; it receives
+        ``(request, queue_depth)`` under the admission lock and may
+        mutate the request envelope (the runtime bumps its
+        degradation-ladder pressure).
 
     :meth:`from_config` builds a batcher from the admission fields of a
     :class:`~repro.serving.config.ServingConfig` — the spelling the
@@ -91,6 +117,9 @@ class MicroBatcher:
         max_wait: float = 0.002,
         workers: int = 1,
         clock: Callable[[], float] = time.monotonic,
+        queue_cap: int | None = None,
+        overload_policy: str = "degrade",
+        on_overload: Callable[[Any, int], None] | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -98,10 +127,21 @@ class MicroBatcher:
             raise ValueError(f"max_wait must be non-negative, got {max_wait}")
         if workers < 0:
             raise ValueError(f"workers must be non-negative, got {workers}")
+        if queue_cap is not None and queue_cap < 1:
+            raise ValueError(
+                f"queue_cap must be positive (or None for unbounded), got {queue_cap}"
+            )
+        if overload_policy not in ("reject", "degrade"):
+            raise ValueError(
+                f"overload_policy must be 'reject' or 'degrade', got {overload_policy!r}"
+            )
         self._serve = serve
         self.max_batch = max_batch
         self.max_wait = max_wait
         self.workers = workers
+        self.queue_cap = queue_cap
+        self.overload_policy = overload_policy
+        self._on_overload = on_overload
         self._clock = clock
         self._cond = threading.Condition()
         self._pending: list[_Pending] = []
@@ -121,6 +161,13 @@ class MicroBatcher:
             "dispatched": 0,
             "admission_wait_total_s": 0.0,
             "admission_wait_max_s": 0.0,
+            # Resilience accounting: admissions shed or degraded at the
+            # cap, solo-retry work, and per-request isolated failures.
+            "rejected": 0,
+            "degraded_admissions": 0,
+            "retries": 0,
+            "isolated_failures": 0,
+            "deadline_expired": 0,
         }
         self._threads = [
             threading.Thread(
@@ -133,7 +180,10 @@ class MicroBatcher:
 
     @classmethod
     def from_config(
-        cls, serve: Callable[[list, Any], Sequence], config
+        cls,
+        serve: Callable[[list, Any], Sequence],
+        config,
+        on_overload: Callable[[Any, int], None] | None = None,
     ) -> "MicroBatcher":
         """A batcher from the admission fields of a ``ServingConfig``
         (``clock=None`` in the config means ``time.monotonic``)."""
@@ -143,18 +193,41 @@ class MicroBatcher:
             max_wait=config.max_wait,
             workers=config.workers,
             clock=config.clock if config.clock is not None else time.monotonic,
+            queue_cap=config.queue_cap,
+            overload_policy=config.overload_policy,
+            on_overload=on_overload,
         )
 
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    def submit(self, request, tag: Any = None) -> Future:
-        """Admit one request; the future resolves when its batch is served."""
+    def submit(self, request, tag: Any = None, deadline: float | None = None) -> Future:
+        """Admit one request; the future resolves when its batch is served.
+
+        ``deadline`` (absolute clock time) caps solo-retry work: an
+        entry whose deadline has passed when its batch is retried is
+        failed with :class:`DeadlineExceeded` instead of re-served.
+        Raises :class:`ShutdownError` after :meth:`close`, and
+        :class:`OverloadError` at the queue cap under the ``"reject"``
+        policy.
+        """
         future: Future = Future()
-        entry = _Pending(request, tag, future, self._clock())
+        entry = _Pending(request, tag, future, self._clock(), deadline)
         with self._cond:
             if self._closed:
-                raise RuntimeError("cannot submit to a closed MicroBatcher")
+                raise ShutdownError("cannot submit to a closed MicroBatcher")
+            depth = len(self._pending)
+            if self.queue_cap is not None and depth >= self.queue_cap:
+                if self.overload_policy == "reject":
+                    self._stats["rejected"] += 1
+                    raise OverloadError(
+                        f"queue depth {depth} is at the cap "
+                        f"{self.queue_cap}; request rejected",
+                        request=request,
+                    )
+                self._stats["degraded_admissions"] += 1
+                if self._on_overload is not None:
+                    self._on_overload(request, depth)
             self._pending.append(entry)
             self._stats["submitted"] += 1
             if len(self._pending) > self._stats["max_queue_depth"]:
@@ -164,6 +237,26 @@ class MicroBatcher:
 
     def submit_many(self, requests: Sequence, tag: Any = None) -> list[Future]:
         return [self.submit(request, tag) for request in requests]
+
+    def try_cancel(self, future: Future) -> bool:
+        """Remove a still-queued future from the pending queue.
+
+        The escape hatch for a caller that timed out on
+        ``future.result(timeout=...)``: on success the entry is gone (no
+        zombie request will be served) and the future is CANCELLED,
+        counted under ``stats["cancelled"]``.  Returns ``False`` when
+        the entry already left the queue — a dispatched-but-unstarted
+        future may still be cancelled through the returned
+        ``future.cancel()`` attempt (the dispatch path counts those)."""
+        with self._cond:
+            for position, entry in enumerate(self._pending):
+                if entry.future is future:
+                    if not future.cancel():  # pragma: no cover - queued
+                        return False  # futures are PENDING, so cancellable
+                    del self._pending[position]
+                    self._stats["cancelled"] += 1
+                    return True
+        return future.cancel()
 
     @property
     def pending(self) -> int:
@@ -256,8 +349,16 @@ class MicroBatcher:
                 batch = self._pop_batch_locked()
             self._execute(batch)
 
-    def close(self) -> None:
-        """Stop accepting work, serve the stragglers, join the workers."""
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting work and resolve every queued future.
+
+        ``drain=True`` (default) serves the stragglers inline after the
+        workers join; ``drain=False`` fails them with
+        :class:`ShutdownError`.  Either way no future admitted before
+        the close — including one racing it — is ever left unresolved:
+        a submit either lands before the closed flag (its entry is
+        drained or failed here) or raises ``ShutdownError`` itself.
+        """
         with self._cond:
             if self._closed:
                 return
@@ -266,8 +367,33 @@ class MicroBatcher:
         for thread in self._threads:
             thread.join()
         # Whatever the workers did not drain (manual mode, or entries
-        # admitted in the closing race) is served inline.
-        self.flush()
+        # admitted in the closing race) is resolved inline.
+        if drain:
+            self.flush()
+        else:
+            self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        with self._cond:
+            stranded = self._pending[:]
+            self._pending.clear()
+        failed = cancelled = 0
+        for entry in stranded:
+            # RUNNING-transition first, exactly like _execute_group: a
+            # future the caller already cancelled takes no exception.
+            if entry.future.set_running_or_notify_cancel():
+                entry.future.set_exception(
+                    ShutdownError(
+                        "MicroBatcher closed before this request was served",
+                        request=entry.request,
+                    )
+                )
+                failed += 1
+            else:
+                cancelled += 1
+        with self._cond:
+            self._stats["failed"] += failed
+            self._stats["cancelled"] += cancelled
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -329,20 +455,58 @@ class MicroBatcher:
         except Exception:
             # A single bad request must not poison its batch neighbors:
             # retry one by one so only the offender's future errors.
-            succeeded = 0
+            # Deadline-expired entries are failed without re-serving —
+            # solo retries are O(batch) engine calls, exactly the work
+            # an overloaded process cannot afford to spend on requests
+            # nobody is waiting for anymore.
+            succeeded = failed = retries = isolated = expired = 0
             for member in members:
+                if member.deadline is not None and self._clock() >= member.deadline:
+                    member.future.set_exception(
+                        DeadlineExceeded(
+                            "deadline passed before the solo retry of a "
+                            "failed batch reached this request",
+                            request=member.request,
+                        )
+                    )
+                    failed += 1
+                    expired += 1
+                    continue
+                retries += 1
                 try:
                     response = self._serve([member.request], tag)[0]
                 except Exception as error:  # noqa: BLE001 - forwarded to caller
                     member.future.set_exception(error)
+                    failed += 1
+                    isolated += 1
                 else:
-                    member.future.set_result(response)
-                    succeeded += 1
+                    if isinstance(response, BaseException):
+                        member.future.set_exception(response)
+                        failed += 1
+                        isolated += 1
+                    else:
+                        member.future.set_result(response)
+                        succeeded += 1
             with self._cond:
                 self._stats["served"] += succeeded
-                self._stats["failed"] += len(members) - succeeded
+                self._stats["failed"] += failed
+                self._stats["retries"] += retries
+                self._stats["isolated_failures"] += isolated
+                self._stats["deadline_expired"] += expired
             return
+        succeeded = failed = 0
         for member, response in zip(members, responses):
-            member.future.set_result(response)
+            # The backend may shed individual requests by returning an
+            # exception instance in that slot (the resilience layer's
+            # per-request error channel) — no batch retry needed.
+            if isinstance(response, BaseException):
+                member.future.set_exception(response)
+                failed += 1
+            else:
+                member.future.set_result(response)
+                succeeded += 1
         with self._cond:
-            self._stats["served"] += len(members)
+            self._stats["served"] += succeeded
+            self._stats["failed"] += failed
+            if failed:
+                self._stats["isolated_failures"] += failed

@@ -283,6 +283,14 @@ class Request:
     ``categories`` labeling) imposes per-category minimum counts on a
     MAP slate.  All default to off; :meth:`validate` is the single
     authority on their invariants.
+
+    ``deadline`` is an absolute latency budget in the serving clock's
+    domain (the injected micro-batcher clock; ``time.monotonic`` by
+    default).  The engine itself ignores it — the resilience layer
+    (:mod:`repro.serving.resilience`) degrades a request whose remaining
+    budget cannot cover its mode and fails an expired one with
+    :class:`~repro.serving.resilience.DeadlineExceeded` instead of
+    serving it late.  ``None`` (the default) means unbounded.
     """
 
     quality: np.ndarray
@@ -298,6 +306,7 @@ class Request:
     pins: np.ndarray | None = None
     quotas: Mapping[int, int] | None = None
     categories: np.ndarray | None = None
+    deadline: float | None = None
 
     def validate(self, num_items: int, index: int = 0) -> None:
         """Check every structural field invariant, raising request-
@@ -310,6 +319,11 @@ class Request:
         start here instead of running their own ad-hoc checks.
         """
         validate_request_mode_and_k(self, index)
+        if self.deadline is not None and not np.isfinite(float(self.deadline)):
+            raise ValueError(
+                f"request {index}: deadline must be a finite clock time, "
+                f"got {self.deadline}"
+            )
         alpha = float(self.alpha)
         if not np.isfinite(alpha) or alpha <= 0:
             raise ValueError(
@@ -405,7 +419,17 @@ class Response:
     the stopping epsilon); the short ``items`` list is still a valid
     prefix slate.  ``version`` stamps the catalog snapshot the request
     was served against — under live snapshot hot-swaps it tells the
-    caller exactly which factor generation produced the list."""
+    caller exactly which factor generation produced the list.
+
+    ``degraded`` / ``served_mode`` are the overload stamps (see
+    :mod:`repro.serving.resilience`): ``degraded=True`` means queue or
+    deadline pressure walked the request down the degradation ladder and
+    ``served_mode`` names the rung that actually produced ``items``
+    (``mode`` still echoes what the caller asked for).  On the terminal
+    ``"quality-topk"`` rung no kernel runs, so ``log_probability`` is
+    ``None`` for the same reason as a short greedy slate: there is no
+    exact k-DPP probability to report.  ``served_mode=None`` on a
+    non-degraded response means "as requested"."""
 
     items: list[int]
     log_probability: float | None
@@ -413,6 +437,8 @@ class Response:
     k: int
     cached: bool = False
     version: int | None = None
+    degraded: bool = False
+    served_mode: str | None = None
 
 
 @dataclass

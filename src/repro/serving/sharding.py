@@ -400,6 +400,7 @@ class ShardedKDPPServer(KDPPServer):
                     pins=request.pins,
                     quotas=request.quotas,
                     categories=request.categories,
+                    deadline=request.deadline,
                 )
         return lowered  # type: ignore[return-value]
 

@@ -28,6 +28,16 @@ SERVING_API = {
     "ShardedSnapshot",
     "RecommenderBridge",
     "quality_from_scores",
+    "ServingError",
+    "OverloadError",
+    "DeadlineExceeded",
+    "SourceUnavailable",
+    "ShutdownError",
+    "TransientError",
+    "BreakerSource",
+    "CircuitBreaker",
+    "FaultPlan",
+    "DEGRADATION_LADDER",
 }
 
 RETRIEVAL_API = {
@@ -72,6 +82,7 @@ def test_request_and_response_shapes():
         "pins",
         "quotas",
         "categories",
+        "deadline",
     } <= request_fields
     response = dataclasses.fields(repro.serving.Response)
     assert {f.name for f in response} >= {
@@ -81,6 +92,8 @@ def test_request_and_response_shapes():
         "k",
         "version",
         "cached",
+        "degraded",
+        "served_mode",
     }
     # Frozen responses: the dataclass params say so.
     assert repro.serving.Response.__dataclass_params__.frozen
@@ -94,4 +107,9 @@ def test_request_and_response_shapes():
         "clock",
         "source",
         "funnel_cache",
+        "queue_cap",
+        "overload_policy",
+        "publish_retries",
+        "publish_backoff",
+        "fault_plan",
     }

@@ -1,0 +1,281 @@
+"""Observability benchmark: tracing overhead and trace coverage.
+
+PR 8's telemetry must be effectively free when off and cheap when on:
+
+* **Overhead** — a closed-loop throughput run (submit a burst, wait for
+  every future, best of 3) at ``trace_rate=0`` (the default fast path)
+  vs ``trace_rate=1`` (every request traced, every batch phase
+  span-recorded).  The CI-guarded contract: full tracing keeps at least
+  **90% of the untraced req/s** (<10% overhead).
+* **Coverage** — under saturation (a burst far above ``queue_cap`` with
+  one worker) a degraded response must carry a ``Response.trace`` whose
+  top-level spans explain **≥95% of its end-to-end latency** and whose
+  annotations name the degradation-ladder rung it was served at — the
+  "where did the milliseconds go" question the trace exists to answer.
+
+Recorded per run: req/s for both rates, the overhead ratio, per-stage
+mean seconds from the ``serving_stage_seconds`` histogram, and the
+worst observed trace coverage among degraded responses.
+
+Entry points:
+
+* ``pytest benchmarks/bench_observability.py`` — the CI guards above.
+* ``python benchmarks/bench_observability.py [--output ...]`` — the
+  JSON baseline writer behind ``BENCH_observability.json``.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) to shrink the
+workload to import-and-run-path coverage.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ is None and __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.serving import (
+    ItemCatalog,
+    Request,
+    ServingConfig,
+    ServingRuntime,
+)
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _settings():
+    if _smoke():
+        return dict(
+            num_items=2048, rank=16, k=5, num_users=16, max_batch=16,
+            burst=200, trials=3, queue_cap=8, saturation_burst=120,
+        )
+    return dict(
+        num_items=20_000, rank=32, k=10, num_users=64, max_batch=32,
+        burst=1000, trials=3, queue_cap=16, saturation_burst=400,
+    )
+
+
+def make_world(settings, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(settings["num_items"], settings["rank"]))
+    factors /= np.linalg.norm(factors, axis=1, keepdims=True)
+    quality = np.exp(
+        rng.normal(scale=0.5, size=(settings["num_users"], settings["num_items"]))
+    )
+    return factors, quality
+
+
+def _burst_requests(settings, quality, count: int) -> list[Request]:
+    return [
+        Request(
+            quality=quality[i % quality.shape[0]],
+            k=settings["k"],
+            mode="sample",
+            seed=i,
+        )
+        for i in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Closed-loop throughput at a given trace rate
+# ----------------------------------------------------------------------
+def run_throughput(settings, factors, quality, trace_rate: float) -> dict:
+    """Best-of-``trials`` closed-loop req/s: submit a burst, await all."""
+    config = ServingConfig(
+        workers=1,
+        max_batch=settings["max_batch"],
+        max_wait=0.001,
+        trace_rate=trace_rate,
+    )
+    requests = _burst_requests(settings, quality, settings["burst"])
+    with ServingRuntime(ItemCatalog(factors), config=config) as runtime:
+        # Warm spectra / allocator outside every timed window.
+        runtime.serve_now(requests[: settings["max_batch"]])
+        best = float("inf")
+        for _ in range(settings["trials"]):
+            begin = time.perf_counter()
+            futures = runtime.submit_many(requests)
+            for future in futures:
+                future.result()
+            best = min(best, time.perf_counter() - begin)
+        stage_means = {}
+        if trace_rate > 0:
+            histogram = runtime.telemetry().registry.get("serving_stage_seconds")
+            if histogram is not None:
+                for series in histogram.snapshot()["series"]:
+                    if series["count"]:
+                        stage_means[series["labels"]["stage"]] = (
+                            series["sum"] / series["count"]
+                        )
+    return {
+        "trace_rate": trace_rate,
+        "req_per_s": settings["burst"] / best,
+        "best_s": best,
+        "stage_mean_s": stage_means,
+    }
+
+
+def run_overhead(settings, factors, quality) -> dict:
+    baseline = run_throughput(settings, factors, quality, trace_rate=0.0)
+    traced = run_throughput(settings, factors, quality, trace_rate=1.0)
+    return {
+        "baseline": baseline,
+        "traced": traced,
+        "throughput_ratio": traced["req_per_s"] / baseline["req_per_s"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Trace coverage under saturation
+# ----------------------------------------------------------------------
+def run_coverage(settings, factors, quality) -> dict:
+    """Saturate one worker behind a small queue cap; audit every traced
+    degraded response's span coverage against its own e2e duration."""
+    config = ServingConfig(
+        workers=1,
+        max_batch=settings["max_batch"],
+        max_wait=0.001,
+        queue_cap=settings["queue_cap"],
+        overload_policy="degrade",
+        trace_rate=1.0,
+    )
+    requests = _burst_requests(settings, quality, settings["saturation_burst"])
+    with ServingRuntime(ItemCatalog(factors), config=config) as runtime:
+        runtime.serve_now(requests[: settings["max_batch"]])
+        futures = runtime.submit_many(requests)
+        responses = [future.result() for future in futures]
+    degraded = [r for r in responses if r.degraded]
+    coverages = [r.trace.coverage() for r in degraded if r.trace is not None]
+    rungs = sorted(
+        {r.trace.annotations.get("served_mode") for r in degraded if r.trace}
+    )
+    return {
+        "requests": len(responses),
+        "degraded": len(degraded),
+        "traced_degraded": len(coverages),
+        "min_coverage": min(coverages) if coverages else None,
+        "mean_coverage": (
+            sum(coverages) / len(coverages) if coverages else None
+        ),
+        "degraded_rungs": [rung for rung in rungs if rung],
+        "event_log": runtime.telemetry().event_log.stats(),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest targets: the CI guards
+# ----------------------------------------------------------------------
+def test_full_tracing_overhead_stays_under_ten_percent():
+    """CI guard: trace_rate=1 keeps ≥90% of the untraced throughput."""
+    settings = _settings()
+    factors, quality = make_world(settings)
+    overhead = run_overhead(settings, factors, quality)
+    assert overhead["throughput_ratio"] >= 0.9, (
+        f"tracing overhead exceeded 10%: "
+        f"{overhead['baseline']['req_per_s']:.0f} req/s untraced vs "
+        f"{overhead['traced']['req_per_s']:.0f} traced "
+        f"(ratio {overhead['throughput_ratio']:.3f})"
+    )
+    # the traced run actually recorded engine stages
+    assert "eigh" in overhead["traced"]["stage_mean_s"]
+
+
+def test_degraded_traces_cover_e2e_latency_and_name_the_rung():
+    """CI guard: under saturation every traced degraded response
+    explains ≥95% of its own latency and names its ladder rung."""
+    settings = _settings()
+    factors, quality = make_world(settings)
+    coverage = run_coverage(settings, factors, quality)
+    assert coverage["degraded"] > 0, (
+        f"saturation never degraded a request: {coverage}"
+    )
+    assert coverage["traced_degraded"] == coverage["degraded"]
+    assert coverage["min_coverage"] >= 0.95, (
+        f"trace left >5% of a degraded request's latency unexplained: "
+        f"{coverage}"
+    )
+    assert coverage["degraded_rungs"], f"no rung annotations: {coverage}"
+    # the event log saw the degradations the responses report
+    assert coverage["event_log"]["recorded"] > 0
+
+
+# ----------------------------------------------------------------------
+# Standalone baseline writer
+# ----------------------------------------------------------------------
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON baseline here (default: print only)",
+    )
+    args = parser.parse_args(argv)
+    settings = _settings()
+    factors, quality = make_world(settings)
+
+    results = {
+        "workload": (
+            "serving telemetry: closed-loop tracing overhead "
+            "(trace_rate 0 vs 1) and degraded-trace span coverage "
+            "under saturation"
+        ),
+        "settings": dict(settings),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+    print(f"== tracing overhead (burst={settings['burst']}, best of "
+          f"{settings['trials']}) ==")
+    overhead = run_overhead(settings, factors, quality)
+    results["overhead"] = {
+        "baseline_req_per_s": round(overhead["baseline"]["req_per_s"], 1),
+        "traced_req_per_s": round(overhead["traced"]["req_per_s"], 1),
+        "throughput_ratio": round(overhead["throughput_ratio"], 4),
+        "stage_mean_ms": {
+            stage: round(seconds * 1e3, 4)
+            for stage, seconds in sorted(
+                overhead["traced"]["stage_mean_s"].items()
+            )
+        },
+    }
+    print(
+        f"   untraced: {overhead['baseline']['req_per_s']:>8.0f} req/s\n"
+        f"     traced: {overhead['traced']['req_per_s']:>8.0f} req/s "
+        f"(ratio {overhead['throughput_ratio']:.3f})"
+    )
+    for stage, milliseconds in results["overhead"]["stage_mean_ms"].items():
+        print(f"{stage:>11}: {milliseconds:>8.3f} ms/batch")
+
+    print(f"\n== trace coverage under saturation "
+          f"(burst={settings['saturation_burst']}, "
+          f"cap={settings['queue_cap']}) ==")
+    coverage = run_coverage(settings, factors, quality)
+    results["coverage"] = {
+        key: (round(value, 4) if isinstance(value, float) else value)
+        for key, value in coverage.items()
+    }
+    print(
+        f"   degraded {coverage['degraded']}/{coverage['requests']} "
+        f"(rungs: {', '.join(coverage['degraded_rungs'])})\n"
+        f"   span coverage min {coverage['min_coverage']:.3f} / "
+        f"mean {coverage['mean_coverage']:.3f}"
+    )
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nbaseline written to {args.output}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -43,10 +43,11 @@ bit-compatible with it and approximate sources stay interchangeable.
 
 from __future__ import annotations
 
-import threading
 import time
 
 import numpy as np
+
+from ..utils.metrics import Counter
 
 __all__ = ["CandidateSource", "shard_offsets", "shard_snapshots"]
 
@@ -93,11 +94,23 @@ class CandidateSource:
     name = "base"
 
     def __init__(self) -> None:
-        self._stats_lock = threading.Lock()
-        self._batches = 0
-        self._rows = 0
-        self._fallback_rows = 0
-        self._time_s = 0.0
+        # Registry-grade primitives (each with its own lock) replace the
+        # old plain ints guarded by one ad-hoc lock: increments from
+        # worker threads can never tear a concurrent stats() read, and
+        # reset_stats() semantics are uniform across every source
+        # (wrappers like BreakerSource reset their extras the same way).
+        self._batches = Counter(
+            "retrieval_batches_total", "pools() calls served"
+        )
+        self._rows = Counter(
+            "retrieval_rows_total", "request rows funnelled"
+        )
+        self._fallback_rows = Counter(
+            "retrieval_fallback_rows_total", "rows served by exact fallback"
+        )
+        self._time_s = Counter(
+            "retrieval_time_seconds_total", "wall seconds inside pools()"
+        )
         # Fault-injection hooks (both None in production).  They are
         # plain attributes — not constructor arguments — so a harness
         # (``repro.serving.resilience.FaultPlan.attach``) can arm any
@@ -131,11 +144,10 @@ class CandidateSource:
         start = time.perf_counter()
         out, fallbacks = self._pools(quality, width, snapshot)
         elapsed = time.perf_counter() - start
-        with self._stats_lock:
-            self._batches += 1
-            self._rows += quality.shape[0]
-            self._fallback_rows += fallbacks
-            self._time_s += elapsed
+        self._batches.inc()
+        self._rows.inc(int(quality.shape[0]))
+        self._fallback_rows.inc(fallbacks)
+        self._time_s.inc(elapsed)
         return out
 
     def _pools(
@@ -154,18 +166,24 @@ class CandidateSource:
     # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Counters snapshot: funnel calls, rows, exact fallbacks, time."""
-        with self._stats_lock:
-            return {
-                "source": self.name,
-                "batches": self._batches,
-                "rows": self._rows,
-                "fallback_rows": self._fallback_rows,
-                "time_s": self._time_s,
-            }
+        return {
+            "source": self.name,
+            "batches": int(self._batches.value),
+            "rows": int(self._rows.value),
+            "fallback_rows": int(self._fallback_rows.value),
+            "time_s": self._time_s.value,
+        }
 
     def reset_stats(self) -> None:
-        with self._stats_lock:
-            self._batches = 0
-            self._rows = 0
-            self._fallback_rows = 0
-            self._time_s = 0.0
+        """Zero every counter this source reports.
+
+        Uniform contract: subclasses that report extra counters (e.g.
+        :class:`~repro.serving.resilience.BreakerSource`) extend this so
+        one ``reset_stats()`` call always zeroes the *whole* ``stats()``
+        dict the source returns — gate state (like an open breaker) is
+        not a counter and survives.
+        """
+        self._batches.reset()
+        self._rows.reset()
+        self._fallback_rows.reset()
+        self._time_s.reset()

@@ -50,6 +50,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..utils.metrics import Counter
+
 __all__ = ["FunnelCache", "exclusion_token", "session_token"]
 
 #: quality entries sampled for the fingerprint guard
@@ -106,9 +108,14 @@ class FunnelCache:
         self.capacity = int(capacity)
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple, tuple[float, np.ndarray]] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        # Registry-grade counters (self-locking) so a stats() read never
+        # tears against worker-thread lookups; the int-valued .hits /
+        # .misses / .invalidations attributes survive as properties.
+        self._hits = Counter("funnel_cache_hits_total", "pool lookups served")
+        self._misses = Counter("funnel_cache_misses_total", "pool lookups missed")
+        self._invalidations = Counter(
+            "funnel_cache_invalidations_total", "entries dropped by invalidate()"
+        )
 
     # ------------------------------------------------------------------
     def get(
@@ -130,13 +137,13 @@ class FunnelCache:
             entry = self._entries.get(key)
             if entry is not None and entry[0] == probe:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._hits.inc()
                 return entry[1]
             if entry is not None:
                 # Same user, same version, different quality: the entry
                 # is stale insurance-wise; drop it so put() replaces it.
                 del self._entries[key]
-            self.misses += 1
+            self._misses.inc()
             return None
 
     def put(
@@ -177,20 +184,39 @@ class FunnelCache:
                 for key in stale:
                     del self._entries[key]
                 dropped = len(stale)
-            self.invalidations += dropped
+            self._invalidations.inc(dropped)
             return dropped
 
     # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def invalidations(self) -> int:
+        return int(self._invalidations.value)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def stats(self) -> dict:
         with self._lock:
-            return {
-                "entries": len(self._entries),
-                "capacity": self.capacity,
-                "hits": self.hits,
-                "misses": self.misses,
-                "invalidations": self.invalidations,
-            }
+            entries = len(self._entries)
+        return {
+            "entries": entries,
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/invalidation counters (entries stay cached)."""
+        self._hits.reset()
+        self._misses.reset()
+        self._invalidations.reset()

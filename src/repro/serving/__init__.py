@@ -49,11 +49,36 @@ retrieval sources (:class:`~repro.serving.resilience.BreakerSource`),
 the structured :class:`~repro.serving.resilience.ServingError` taxonomy
 and the deterministic :class:`~repro.serving.resilience.FaultPlan`
 chaos harness.
+
+Unified telemetry (PR 8) lives in :mod:`repro.serving.observability`:
+thread-safe :class:`Counter` / :class:`Gauge` / :class:`Histogram`
+primitives in one :class:`MetricsRegistry` (Prometheus-style
+``to_text()``), sampled per-request stage tracing
+(``ServingConfig.trace_rate``; the finished :class:`Trace` rides out on
+``Response.trace``), the bounded :class:`EventLog` of degradations /
+sheds / breaker transitions / publishes, and the
+:class:`RuntimeTelemetry` facade behind
+:meth:`~repro.serving.runtime.ServingRuntime.telemetry` — one versioned
+snapshot over every layer's stats, with a :class:`MetricsReporter` for
+periodic emission.
 """
 
 from .bridge import RecommenderBridge, quality_from_scores
 from .catalog import CatalogSnapshot, ItemCatalog
 from .config import ServingConfig
+from .observability import (
+    TELEMETRY_SCHEMA_VERSION,
+    Counter,
+    EventLog,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsReporter,
+    RuntimeTelemetry,
+    Span,
+    StageRecorder,
+    Trace,
+)
 from .resilience import (
     DEGRADATION_LADDER,
     BreakerSource,
@@ -98,4 +123,15 @@ __all__ = [
     "CircuitBreaker",
     "FaultPlan",
     "DEGRADATION_LADDER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsReporter",
+    "RuntimeTelemetry",
+    "Span",
+    "StageRecorder",
+    "Trace",
+    "EventLog",
+    "TELEMETRY_SCHEMA_VERSION",
 ]

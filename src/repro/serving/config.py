@@ -72,6 +72,16 @@ class ServingConfig:
         runtime wires its deterministic fault hooks through the whole
         stack (chaos tests and the overload benchmark only — leave
         ``None`` in production).
+    trace_rate / event_log_capacity:
+        Observability (:mod:`repro.serving.observability`).
+        ``trace_rate`` is the fraction of submitted requests that carry
+        a per-stage :class:`~repro.serving.observability.Trace`
+        (deterministic credit sampling, no RNG consumed); the default
+        ``0.0`` keeps the serving path bit-identical to the
+        un-instrumented stack, seeded samples included.
+        ``event_log_capacity`` bounds the runtime's ring-buffer
+        :class:`~repro.serving.observability.EventLog` of degradations,
+        sheds, breaker transitions and publishes.
     """
 
     rerank_pool: int = 100
@@ -87,6 +97,8 @@ class ServingConfig:
     publish_retries: int = 2
     publish_backoff: float = 0.05
     fault_plan: Any | None = None
+    trace_rate: float = 0.0
+    event_log_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if self.rerank_pool < 1:
@@ -122,6 +134,15 @@ class ServingConfig:
         if self.publish_backoff < 0:
             raise ValueError(
                 f"publish_backoff must be non-negative, got {self.publish_backoff}"
+            )
+        if not 0.0 <= self.trace_rate <= 1.0:
+            raise ValueError(
+                f"trace_rate must be in [0, 1], got {self.trace_rate}"
+            )
+        if self.event_log_capacity < 1:
+            raise ValueError(
+                f"event_log_capacity must be positive, "
+                f"got {self.event_log_capacity}"
             )
 
     def replace(self, **changes) -> "ServingConfig":

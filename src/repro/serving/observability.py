@@ -1,0 +1,445 @@
+"""Unified serving telemetry: metrics, stage traces, one snapshot.
+
+The stack below this module answers "what did we serve?"; this module
+answers "where did the milliseconds go, and why did requests degrade?"
+— the two questions the ROADMAP's millions-of-users north star needs
+before any capacity claim means anything.  Three pieces:
+
+**Metrics registry** — the thread-safe :class:`Counter` / :class:`Gauge`
+/ log-bucketed :class:`Histogram` primitives (re-exported from
+:mod:`repro.utils.metrics`, which lives under ``utils`` so retrieval
+sources can adopt them without importing the serving layer).  Every
+layer of one :class:`~repro.serving.runtime.ServingRuntime` registers
+into a single :class:`MetricsRegistry`, so
+``runtime.telemetry().to_text()`` is one Prometheus-style page covering
+admission, engine stages, degradations, sheds and breaker trips.
+
+**Per-request stage tracing** — a sampled :class:`Trace`
+(``ServingConfig.trace_rate``; the default 0 keeps the fast path
+bit-identical, seeded samples included) carries spans opened and closed
+through the *injected clock* at each lifecycle stage: queue wait at the
+resilient layer's entry, ``funnel`` / ``source`` in the sharded
+lowering, ``resolve`` / ``dual_build`` / ``eigh`` / ``normalizer`` /
+``selection`` / ``emit`` inside the engine.  Engine stages are batch
+phases — every member of a dispatched batch waits on the whole batch,
+so a batch phase *is* part of each member's latency, and the
+:class:`StageRecorder` therefore attaches the same span to every traced
+member.  The finished trace rides out on ``Response.trace``;
+degradations, sheds, deadline failures, breaker transitions and
+publishes are additionally recorded into the bounded ring-buffer
+:class:`EventLog`.
+
+Sampling is deterministic — a credit accumulator, not an RNG — because
+consuming random numbers on the serving path would perturb the seeded
+sample streams the parity tests pin.
+
+**RuntimeTelemetry** — the facade merging every scattered ``stats()``
+dict (scheduler, resilience, retrieval, faults, catalog) into one
+versioned snapshot schema (:data:`TELEMETRY_SCHEMA_VERSION`), plus a
+:class:`MetricsReporter` that emits snapshots periodically — threaded
+against a real clock, or driven by explicit :meth:`~MetricsReporter.tick`
+calls in the batcher's ``workers=0`` deterministic mode.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from collections import deque
+from typing import Any, Callable
+
+from ..utils.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "StageRecorder",
+    "stage_span",
+    "EventLog",
+    "RuntimeTelemetry",
+    "MetricsReporter",
+    "TELEMETRY_SCHEMA_VERSION",
+]
+
+#: bump when the RuntimeTelemetry.snapshot() key layout changes
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+class Span:
+    """One closed stage interval inside a trace.
+
+    ``nested=True`` marks a span contained in another span of the same
+    trace (``source`` runs inside ``funnel``); coverage accounting
+    skips nested spans so wall-clock time is never counted twice.
+    """
+
+    __slots__ = ("name", "start", "end", "nested")
+
+    def __init__(
+        self, name: str, start: float, end: float, nested: bool = False
+    ) -> None:
+        self.name = name
+        self.start = float(start)
+        self.end = float(end)
+        self.nested = bool(nested)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "nested": self.nested,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {self.duration:.6f}s)"
+
+
+class Trace:
+    """The per-request span tree, clocked by the injected clock.
+
+    A trace is created at admission (``started``), handed through the
+    queue inside the :class:`~repro.serving.resilience.AdmittedRequest`
+    envelope, filled by the layers the request crosses, and finished
+    when its response is stamped — at which point it rides out on
+    ``Response.trace``.  Ownership is sequential (submit thread →
+    worker thread → caller via the future), so no lock: each handoff
+    already synchronizes through the batcher's condition / the future.
+    """
+
+    __slots__ = ("started", "finished", "spans", "events", "annotations", "_clock")
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        started: float | None = None,
+    ) -> None:
+        self._clock = clock
+        self.started = clock() if started is None else float(started)
+        self.finished: float | None = None
+        self.spans: list[Span] = []
+        self.events: list[tuple[float, str, dict]] = []
+        self.annotations: dict[str, Any] = {}
+
+    def add_span(
+        self, name: str, start: float, end: float, nested: bool = False
+    ) -> Span:
+        span = Span(name, start, end, nested=nested)
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, nested: bool = False):
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            self.add_span(name, start, self._clock(), nested=nested)
+
+    def event(self, name: str, **fields) -> None:
+        self.events.append((self._clock(), name, fields))
+
+    def annotate(self, **fields) -> None:
+        self.annotations.update(fields)
+
+    def finish(self) -> "Trace":
+        if self.finished is None:
+            self.finished = self._clock()
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Admission-to-finish in clock seconds (to now if unfinished)."""
+        end = self.finished if self.finished is not None else self._clock()
+        return end - self.started
+
+    def span_seconds(self, include_nested: bool = False) -> float:
+        return sum(
+            span.duration
+            for span in self.spans
+            if include_nested or not span.nested
+        )
+
+    def coverage(self, total: float | None = None) -> float:
+        """Fraction of the request's latency its top-level spans explain.
+
+        ``total`` defaults to the trace's own duration; pass the
+        caller-measured end-to-end latency to audit against an external
+        clock.  1.0 when the total is zero (manual clocks that never
+        advanced have nothing unaccounted for).
+        """
+        denominator = self.duration if total is None else total
+        if denominator <= 0:
+            return 1.0
+        return self.span_seconds() / denominator
+
+    def to_dict(self) -> dict:
+        """The JSON-friendly dump README's example shows."""
+        return {
+            "started": self.started,
+            "finished": self.finished,
+            "duration": self.duration,
+            "spans": [span.to_dict() for span in self.spans],
+            "events": [
+                {"time": when, "name": name, **fields}
+                for when, name, fields in self.events
+            ],
+            "annotations": dict(self.annotations),
+        }
+
+
+class StageRecorder:
+    """Collects batch-phase spans once, to be fanned out per trace.
+
+    The engine serves a whole batch through shared phases (one dual
+    build, one stacked ``eigh``); creating one recorder per dispatched
+    batch — only when the batch holds at least one traced request —
+    keeps instrumentation off the untraced fast path entirely.  Every
+    member of the batch waited on every phase, so :meth:`extend_trace`
+    attaches the full recorded list to each traced member.
+    """
+
+    __slots__ = ("_clock", "spans")
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self.spans: list[tuple[str, float, float, bool]] = []
+
+    @contextmanager
+    def stage(self, name: str, nested: bool = False):
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            self.spans.append((name, start, self._clock(), nested))
+
+    def extend_trace(self, trace: Trace, nested: bool | None = None) -> None:
+        """Attach every recorded span; ``nested=True`` forces all of
+        them nested (the resilient layer wraps the whole serve window in
+        one top-level ``engine`` span, so stage spans must not
+        double-count in coverage sums)."""
+        for name, start, end, span_nested in self.spans:
+            trace.add_span(
+                name,
+                start,
+                end,
+                nested=span_nested if nested is None else nested,
+            )
+
+    def seconds(self, name: str) -> float:
+        return sum(end - start for n, start, end, _ in self.spans if n == name)
+
+
+def stage_span(recorder: StageRecorder | None, name: str, nested: bool = False):
+    """``with stage_span(stages, "eigh"): ...`` — a no-op context when no
+    recorder rides along (the untraced path pays one ``is None``)."""
+    if recorder is None:
+        return nullcontext()
+    return recorder.stage(name, nested=nested)
+
+
+class EventLog:
+    """Bounded ring buffer of notable serving moments.
+
+    Degradations, sheds, deadline failures, breaker transitions and
+    publishes land here with a sequence number and an injected-clock
+    timestamp; the buffer holds the last ``capacity`` events (drops are
+    counted, never silent).  Thread-safe — workers record concurrently.
+    """
+
+    def __init__(
+        self, capacity: int = 1024, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=self.capacity)
+        self._recorded = 0
+
+    def record(self, kind: str, **fields) -> dict:
+        event = {"kind": kind, "time": self._clock(), **fields}
+        with self._lock:
+            self._recorded += 1
+            event["seq"] = self._recorded
+            self._events.append(event)
+        return event
+
+    def snapshot(self, kind: str | None = None, limit: int | None = None) -> list[dict]:
+        """Oldest-first retained events, optionally filtered by kind and
+        truncated to the most recent ``limit``."""
+        with self._lock:
+            events = list(self._events)
+        if kind is not None:
+            events = [event for event in events if event["kind"] == kind]
+        if limit is not None:
+            events = events[-limit:]
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "recorded": self._recorded,
+                "retained": len(self._events),
+                "dropped": self._recorded - len(self._events),
+            }
+
+
+class RuntimeTelemetry:
+    """One versioned snapshot over the whole runtime's visibility.
+
+    Merges the metrics registry, the event log, and every legacy
+    ``stats()`` dict (registered as named *providers* by the runtime)
+    into a single dict under :data:`TELEMETRY_SCHEMA_VERSION`, and
+    renders the registry — plus derived uptime / req/s gauges — as one
+    Prometheus-style text page.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        event_log: EventLog | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.event_log = (
+            event_log if event_log is not None else EventLog(clock=clock)
+        )
+        self._clock = clock
+        self._started = clock()
+        self._providers: dict[str, Callable[[], Any]] = {}
+        self._served_total: Callable[[], float] | None = None
+
+    def add_provider(self, name: str, provider: Callable[[], Any]) -> None:
+        """Register one legacy ``stats()`` callable under a snapshot key."""
+        self._providers[name] = provider
+
+    def set_served_total(self, served_total: Callable[[], float]) -> None:
+        """The running served-request count req/s is derived from."""
+        self._served_total = served_total
+
+    @property
+    def uptime(self) -> float:
+        return self._clock() - self._started
+
+    def requests_per_second(self) -> float:
+        if self._served_total is None:
+            return 0.0
+        uptime = self.uptime
+        if uptime <= 0:
+            return 0.0
+        return float(self._served_total()) / uptime
+
+    def snapshot(self) -> dict:
+        """The one merged, versioned view of the runtime right now."""
+        out: dict[str, Any] = {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "uptime_s": self.uptime,
+            "requests_per_second": self.requests_per_second(),
+            "metrics": self.registry.snapshot(),
+            "events": self.event_log.snapshot(),
+            "event_log": self.event_log.stats(),
+        }
+        for name, provider in self._providers.items():
+            out[name] = provider()
+        return out
+
+    def to_text(self) -> str:
+        """Prometheus exposition: every registered family plus the
+        derived ``serving_uptime_seconds`` / ``serving_requests_per_second``."""
+        lines = [
+            "# TYPE serving_uptime_seconds gauge",
+            f"serving_uptime_seconds {self.uptime!r}",
+            "# TYPE serving_requests_per_second gauge",
+            f"serving_requests_per_second {self.requests_per_second()!r}",
+        ]
+        return self.registry.to_text() + "\n".join(lines) + "\n"
+
+
+class MetricsReporter:
+    """Periodic snapshot emitter over one :class:`RuntimeTelemetry`.
+
+    ``workers=1`` (default) runs a daemon thread that emits every
+    ``interval`` wall seconds; ``workers=0`` is the deterministic mode:
+    nothing runs until :meth:`tick` is called, which emits exactly when
+    the *injected* clock says an interval has elapsed — the same
+    manual-clock discipline as ``MicroBatcher(workers=0)``.  Emitted
+    snapshots go to the ``emit`` callback (when given) and are retained
+    in ``reports`` (a bounded deque) either way.
+    """
+
+    def __init__(
+        self,
+        telemetry: RuntimeTelemetry,
+        interval: float = 10.0,
+        workers: int = 1,
+        clock: Callable[[], float] | None = None,
+        emit: Callable[[dict], None] | None = None,
+        keep: int = 16,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if workers not in (0, 1):
+            raise ValueError(f"workers must be 0 or 1, got {workers}")
+        if keep < 1:
+            raise ValueError(f"keep must be positive, got {keep}")
+        self.telemetry = telemetry
+        self.interval = float(interval)
+        self._clock = clock if clock is not None else telemetry._clock
+        self._emit = emit
+        self.reports: deque[dict] = deque(maxlen=keep)
+        self._last = self._clock()
+        self._closed = threading.Event()
+        self._thread: threading.Thread | None = None
+        if workers:
+            self._thread = threading.Thread(
+                target=self._loop, name="metrics-reporter", daemon=True
+            )
+            self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._closed.wait(self.interval):
+            self.emit_now()
+
+    def tick(self) -> dict | None:
+        """Manual mode: emit if an interval elapsed on the injected
+        clock; returns the snapshot emitted, else ``None``."""
+        if self._clock() - self._last >= self.interval:
+            return self.emit_now()
+        return None
+
+    def emit_now(self) -> dict:
+        snapshot = self.telemetry.snapshot()
+        self.reports.append(snapshot)
+        self._last = self._clock()
+        if self._emit is not None:
+            self._emit(snapshot)
+        return snapshot
+
+    def close(self) -> None:
+        self._closed.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "MetricsReporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

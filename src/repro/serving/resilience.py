@@ -65,6 +65,7 @@ included) — pinned by the parity tests.
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from dataclasses import replace as dataclass_replace
@@ -73,7 +74,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..retrieval import CandidateSource, ExactTopK
+from ..utils.metrics import Counter, MetricsRegistry
 from ..utils.topk import top_k_indices
+from .observability import EventLog, StageRecorder
 from .server import Request, Response, effective_request_quality
 
 __all__ = [
@@ -169,13 +172,16 @@ def _next_rung(request: Request, mode: str) -> str:
 
 class AdmittedRequest:
     """The envelope the runtime queues: the request plus the queue
-    pressure (ladder rungs) it accumulated at admission."""
+    pressure (ladder rungs) it accumulated at admission, and — when the
+    request was sampled for tracing — its in-flight
+    :class:`~repro.serving.observability.Trace`."""
 
-    __slots__ = ("request", "pressure")
+    __slots__ = ("request", "pressure", "trace")
 
-    def __init__(self, request: Request, pressure: int = 0) -> None:
+    def __init__(self, request: Request, pressure: int = 0, trace=None) -> None:
         self.request = request
         self.pressure = int(pressure)
+        self.trace = trace
 
 
 class ModeCostModel:
@@ -288,45 +294,101 @@ class ResilientServer:
         clock: Callable[[], float] | None = None,
         cost_model: ModeCostModel | None = None,
         fault_plan: "FaultPlan | None" = None,
+        registry: MetricsRegistry | None = None,
+        event_log: EventLog | None = None,
     ) -> None:
         self.server = server
         self._clock = clock if clock is not None else time.monotonic
         self.cost_model = cost_model if cost_model is not None else ModeCostModel()
         self.fault_plan = fault_plan
-        self._lock = threading.Lock()
-        self._stats = {
-            "admitted": 0,
-            "degraded": 0,
-            "queue_degraded": 0,
-            "deadline_degraded": 0,
-            "deadline_exceeded": 0,
-            "quality_topk_served": 0,
-        }
-
-    def _count(self, key: str, value: int = 1) -> None:
-        with self._lock:
-            self._stats[key] += value
+        metrics = registry if registry is not None else MetricsRegistry()
+        self.registry = metrics
+        self.event_log = (
+            event_log if event_log is not None else EventLog(clock=self._clock)
+        )
+        # Engine-stage spans recorded for traced batches also feed the
+        # aggregate per-stage latency histogram — one family labeled by
+        # stage, the breakdown the telemetry page exposes.
+        self._stage_seconds = metrics.histogram(
+            "serving_stage_seconds",
+            "per-stage time of traced batches (clock seconds)",
+            labelnames=("stage",),
+        )
+        self._batch_seconds = metrics.histogram(
+            "serving_engine_batch_seconds",
+            "engine serve() wall time per batch (clock seconds)",
+        )
+        self._admitted = metrics.counter(
+            "resilience_admitted_total", "requests entering the resilient layer"
+        )
+        self._degraded = metrics.counter(
+            "resilience_degraded_total", "responses served below requested mode"
+        )
+        self._queue_degraded = metrics.counter(
+            "resilience_queue_degraded_total", "requests degraded by queue pressure"
+        )
+        self._deadline_degraded = metrics.counter(
+            "resilience_deadline_degraded_total",
+            "requests degraded by deadline budget",
+        )
+        self._deadline_exceeded = metrics.counter(
+            "resilience_deadline_exceeded_total",
+            "requests failed with an expired deadline",
+        )
+        self._quality_topk = metrics.counter(
+            "resilience_quality_topk_total",
+            "requests shed to the terminal quality-topk rung",
+        )
+        # Stage recorders only help when the wrapped engine accepts a
+        # ``stages=`` recorder; custom servers without the kwarg are
+        # served exactly as before (checked once, not per batch).
+        try:
+            self._accepts_stages = (
+                "stages" in inspect.signature(server.serve).parameters
+            )
+        except (TypeError, ValueError):  # pragma: no cover - exotic callables
+            self._accepts_stages = False
 
     def stats(self) -> dict:
-        with self._lock:
-            out = dict(self._stats)
-        out["mode_costs"] = self.cost_model.snapshot()
-        return out
+        return {
+            "admitted": int(self._admitted.value),
+            "degraded": int(self._degraded.value),
+            "queue_degraded": int(self._queue_degraded.value),
+            "deadline_degraded": int(self._deadline_degraded.value),
+            "deadline_exceeded": int(self._deadline_exceeded.value),
+            "quality_topk_served": int(self._quality_topk.value),
+            "mode_costs": self.cost_model.snapshot(),
+        }
 
     # ------------------------------------------------------------------
     def serve_admitted(
         self, admitted: Sequence[AdmittedRequest], snapshot
     ) -> list:
-        self._count("admitted", len(admitted))
+        self._admitted.inc(len(admitted))
         now = self._clock()
         results: list = [None] * len(admitted)
-        engine: list[tuple[int, Request, str]] = []
-        shed: list[tuple[int, Request]] = []
+        engine: list[tuple[int, AdmittedRequest, str]] = []
+        shed: list[tuple[int, AdmittedRequest]] = []
         for position, item in enumerate(admitted):
             request = item.request
+            trace = item.trace
+            if trace is not None:
+                # The queue span: submit time (trace start) to batch
+                # pickup — the admission wait the scheduler histogram
+                # also observes, now visible per traced request.
+                trace.add_span("queue", trace.started, now)
             deadline = request.deadline
             if deadline is not None and now >= deadline:
-                self._count("deadline_exceeded")
+                self._deadline_exceeded.inc()
+                self.event_log.record(
+                    "deadline_exceeded",
+                    index=position,
+                    overrun_s=now - deadline,
+                )
+                if trace is not None:
+                    trace.event("deadline_exceeded", overrun_s=now - deadline)
+                    trace.annotate(outcome="deadline_exceeded")
+                    trace.finish()
                 results[position] = DeadlineExceeded(
                     f"request {position}: deadline passed "
                     f"{now - deadline:.6f}s before serving began",
@@ -336,63 +398,155 @@ class ResilientServer:
                 continue
             mode = degrade_mode(request, item.pressure)
             if mode != request.mode:
-                self._count("queue_degraded")
+                self._queue_degraded.inc()
+                self.event_log.record(
+                    "degraded",
+                    reason="queue",
+                    index=position,
+                    from_mode=request.mode,
+                    to_mode=mode,
+                )
+                if trace is not None:
+                    trace.event(
+                        "degraded",
+                        reason="queue",
+                        from_mode=request.mode,
+                        to_mode=mode,
+                    )
             if deadline is not None:
                 remaining = deadline - now
-                budget_degraded = False
+                budget_mode = mode
                 while (
                     mode != QUALITY_TOPK
                     and self.cost_model.estimate(mode) > remaining
                 ):
                     mode = _next_rung(request, mode)
-                    budget_degraded = True
-                if budget_degraded:
-                    self._count("deadline_degraded")
+                if mode != budget_mode:
+                    self._deadline_degraded.inc()
+                    self.event_log.record(
+                        "degraded",
+                        reason="deadline",
+                        index=position,
+                        from_mode=budget_mode,
+                        to_mode=mode,
+                    )
+                    if trace is not None:
+                        trace.event(
+                            "degraded",
+                            reason="deadline",
+                            from_mode=budget_mode,
+                            to_mode=mode,
+                        )
             if mode == QUALITY_TOPK:
-                shed.append((position, request))
+                shed.append((position, item))
             else:
-                engine.append((position, request, mode))
+                engine.append((position, item, mode))
         if engine:
             # The parity contract lives here: with nothing degraded the
             # engine receives the original request objects, untouched
             # and in admission order, in a single serve call.
             requests = [
-                request
-                if mode == request.mode
-                else dataclass_replace(request, mode=mode)
-                for _, request, mode in engine
+                item.request
+                if mode == item.request.mode
+                else dataclass_replace(item.request, mode=mode)
+                for _, item, mode in engine
             ]
+            # One recorder per dispatched batch, created only when a
+            # traced member reaches the engine — stage spans are batch-
+            # phase times, so every traced member carries the same ones.
+            recorder = None
+            if self._accepts_stages and any(
+                item.trace is not None for _, item, _ in engine
+            ):
+                recorder = StageRecorder(self._clock)
             start = self._clock()
             if self.fault_plan is not None:
                 # Inside the timed window: injected serve delays feed
                 # the cost model exactly like real service time would.
                 self.fault_plan.serve_tick(len(requests))
-            responses = self.server.serve(requests, snapshot=snapshot)
+            if recorder is not None:
+                responses = self.server.serve(
+                    requests, snapshot=snapshot, stages=recorder
+                )
+            else:
+                responses = self.server.serve(requests, snapshot=snapshot)
             elapsed = self._clock() - start
-            per_request = elapsed / len(requests) if requests else 0.0
-            for (position, request, mode), response in zip(engine, responses):
-                self.cost_model.observe(mode, per_request)
-                if mode != request.mode:
-                    self._count("degraded")
-                    response = dataclass_replace(
-                        response,
-                        mode=request.mode,
-                        served_mode=mode,
-                        degraded=True,
+            self._batch_seconds.observe(elapsed)
+            if recorder is not None:
+                for name, span_start, span_end, _ in recorder.spans:
+                    self._stage_seconds.labels(stage=name).observe(
+                        span_end - span_start
                     )
-                results[position] = response
+            engine_end = start + elapsed
+            per_request = elapsed / len(requests) if requests else 0.0
+            for (position, item, mode), response in zip(engine, responses):
+                request = item.request
+                self.cost_model.observe(mode, per_request)
+                restamp: dict = {}
+                if mode != request.mode:
+                    self._degraded.inc()
+                    restamp.update(
+                        mode=request.mode, served_mode=mode, degraded=True
+                    )
+                trace = item.trace
+                if trace is not None:
+                    # Top-level coverage comes from three wall-to-wall
+                    # spans — dispatch (admission bookkeeping), engine
+                    # (the whole serve window), stamp (response fan-out
+                    # up to this member) — with the recorder's stage
+                    # spans nested inside ``engine`` so batch-phase
+                    # detail never double-counts.
+                    if start > now:
+                        trace.add_span("dispatch", now, start)
+                    trace.add_span("engine", start, engine_end)
+                    if recorder is not None:
+                        recorder.extend_trace(trace, nested=True)
+                    trace.annotate(
+                        served_mode=mode, degraded=mode != request.mode
+                    )
+                    stamp_end = self._clock()
+                    if stamp_end > engine_end:
+                        trace.add_span("stamp", engine_end, stamp_end)
+                    trace.finish()
+                    restamp["trace"] = trace
+                results[position] = (
+                    dataclass_replace(response, **restamp)
+                    if restamp
+                    else response
+                )
         if shed:
             start = self._clock()
-            for position, request in shed:
-                results[position] = _quality_topk_response(
-                    request, position, snapshot
+            for position, item in shed:
+                request = item.request
+                span_start = self._clock()
+                response = _quality_topk_response(request, position, snapshot)
+                span_end = self._clock()
+                self._stage_seconds.labels(stage="quality_topk").observe(
+                    span_end - span_start
                 )
+                self.event_log.record(
+                    "shed", index=position, rung=QUALITY_TOPK
+                )
+                trace = item.trace
+                if trace is not None:
+                    # Shed members resolve with the rest of their batch:
+                    # the engine serve and earlier shed neighbors ran
+                    # first, and that wait is part of this request's
+                    # latency — account it so coverage stays honest.
+                    if span_start > now:
+                        trace.add_span("batch_wait", now, span_start)
+                    trace.add_span("quality_topk", span_start, span_end)
+                    trace.event("shed", rung=QUALITY_TOPK)
+                    trace.annotate(served_mode=QUALITY_TOPK, degraded=True)
+                    trace.finish()
+                    response = dataclass_replace(response, trace=trace)
+                results[position] = response
             elapsed = self._clock() - start
             per_request = elapsed / len(shed)
             for _ in shed:
                 self.cost_model.observe(QUALITY_TOPK, per_request)
-            self._count("degraded", len(shed))
-            self._count("quality_topk_served", len(shed))
+            self._degraded.inc(len(shed))
+            self._quality_topk.inc(len(shed))
         return results
 
 
@@ -430,6 +584,11 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at = 0.0
         self._trips = 0
+        # Optional ``listener(old_state, new_state)`` — the runtime hangs
+        # its event log off this.  Transitions are captured inside the
+        # lock but the listener fires outside it, so a listener that
+        # reads breaker state back can never deadlock.
+        self.listener: Callable[[str, str], None] | None = None
 
     @property
     def state(self) -> str:
@@ -441,34 +600,57 @@ class CircuitBreaker:
         with self._lock:
             return self._trips
 
+    def _notify(self, transition: tuple[str, str] | None) -> None:
+        if transition is None:
+            return
+        listener = self.listener
+        if listener is not None:
+            listener(transition[0], transition[1])
+
     def allow(self) -> bool:
+        transition = None
         with self._lock:
             if self._state == "closed":
-                return True
-            if self._state == "open":
+                allowed = True
+            elif self._state == "open":
                 if self._clock() - self._opened_at >= self.cooldown:
                     self._state = "half-open"
-                    return True  # this caller is the probe
-                return False
-            return False  # half-open: a probe is already in flight
+                    transition = ("open", "half-open")
+                    allowed = True  # this caller is the probe
+                else:
+                    allowed = False
+            else:
+                allowed = False  # half-open: a probe is already in flight
+        self._notify(transition)
+        return allowed
 
     def record_success(self) -> None:
         with self._lock:
+            previous = self._state
             self._state = "closed"
             self._failures = 0
+        if previous != "closed":
+            self._notify((previous, "closed"))
 
     def record_failure(self) -> None:
+        transition = None
         with self._lock:
             if self._state == "half-open":
                 self._state = "open"
                 self._opened_at = self._clock()
                 self._trips += 1
-                return
-            self._failures += 1
-            if self._state == "closed" and self._failures >= self.failure_threshold:
-                self._state = "open"
-                self._opened_at = self._clock()
-                self._trips += 1
+                transition = ("half-open", "open")
+            else:
+                self._failures += 1
+                if (
+                    self._state == "closed"
+                    and self._failures >= self.failure_threshold
+                ):
+                    self._state = "open"
+                    self._opened_at = self._clock()
+                    self._trips += 1
+                    transition = ("closed", "open")
+        self._notify(transition)
 
 
 class BreakerSource(CandidateSource):
@@ -506,16 +688,20 @@ class BreakerSource(CandidateSource):
         self.breaker = CircuitBreaker(
             failure_threshold=failure_threshold, cooldown=cooldown, clock=self._clock
         )
-        self._counter_lock = threading.Lock()
-        self._primary_failures = 0
-        self._slow_calls = 0
-        self._fallback_batches = 0
+        self._primary_failures = Counter(
+            "breaker_primary_failures_total", "primary source exceptions"
+        )
+        self._slow_calls = Counter(
+            "breaker_slow_calls_total", "primary calls over slow_threshold"
+        )
+        self._fallback_batches = Counter(
+            "breaker_fallback_batches_total", "batches served by the fallback"
+        )
 
     def _serve_fallback(
         self, quality: np.ndarray, width: int, snapshot, cause: Exception | None
     ) -> tuple[np.ndarray, int]:
-        with self._counter_lock:
-            self._fallback_batches += 1
+        self._fallback_batches.inc()
         try:
             out = self.fallback.pools(quality, width, snapshot)
         except Exception as error:
@@ -535,32 +721,40 @@ class BreakerSource(CandidateSource):
             out = self.primary.pools(quality, width, snapshot)
         except Exception as error:
             self.breaker.record_failure()
-            with self._counter_lock:
-                self._primary_failures += 1
+            self._primary_failures.inc()
             return self._serve_fallback(quality, width, snapshot, error)
         elapsed = self._clock() - start
         if self.slow_threshold is not None and elapsed > self.slow_threshold:
             # A deadline blowout is a failure signal even though the
             # (late) pools are still returned to this caller.
             self.breaker.record_failure()
-            with self._counter_lock:
-                self._slow_calls += 1
+            self._slow_calls.inc()
         else:
             self.breaker.record_success()
         return out, 0
 
     def stats(self) -> dict:
         out = super().stats()
-        with self._counter_lock:
-            out["breaker"] = {
-                "state": self.breaker.state,
-                "trips": self.breaker.trips,
-                "primary_failures": self._primary_failures,
-                "slow_calls": self._slow_calls,
-                "fallback_batches": self._fallback_batches,
-            }
+        out["breaker"] = {
+            "state": self.breaker.state,
+            "trips": self.breaker.trips,
+            "primary_failures": int(self._primary_failures.value),
+            "slow_calls": int(self._slow_calls.value),
+            "fallback_batches": int(self._fallback_batches.value),
+        }
         out["primary"] = self.primary.stats()
         return out
+
+    def reset_stats(self) -> None:
+        """Zero the wrapper's counters *and* the primary's (uniform
+        contract, see :meth:`CandidateSource.reset_stats`); breaker gate
+        state — open/closed, trip count — is state, not a counter, and
+        survives."""
+        super().reset_stats()
+        self._primary_failures.reset()
+        self._slow_calls.reset()
+        self._fallback_batches.reset()
+        self.primary.reset_stats()
 
 
 # ----------------------------------------------------------------------

@@ -34,14 +34,17 @@ factor generations.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Future
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..utils.metrics import MetricsRegistry
 from .catalog import ItemCatalog
 from .config import UNSET, ServingConfig, resolve_config
+from .observability import EventLog, RuntimeTelemetry, Trace
 from .resilience import AdmittedRequest, ResilientServer, TransientError
 from .scheduler import MicroBatcher
 from .server import KDPPServer, Request, Response
@@ -122,23 +125,79 @@ class ServingRuntime:
                 "the default server) or to your own server, not both"
             )
         self.server = server
+        clock = config.clock if config.clock is not None else time.monotonic
+        self._clock = clock
+        # One registry + one event log span the whole runtime: the
+        # scheduler, the resilient layer and the publish path all
+        # register into them, so telemetry().to_text() is one page.
+        self._registry = MetricsRegistry()
+        self._event_log = EventLog(
+            capacity=config.event_log_capacity, clock=clock
+        )
+        self._telemetry = RuntimeTelemetry(
+            self._registry, self._event_log, clock=clock
+        )
+        # Deterministic trace sampling (credit accumulator — no RNG, so
+        # seeded sample streams are untouched; rate 0 short-circuits).
+        self._trace_rate = float(config.trace_rate)
+        self._trace_lock = threading.Lock()
+        self._trace_credit = 0.0
+        self._fault_plan = config.fault_plan
         # The resilience layer sits between the batcher and the engine:
         # deadline budgets, the degradation ladder, and fault-injection
         # hooks (no-op on the default no-pressure path — parity-pinned).
-        clock = config.clock if config.clock is not None else time.monotonic
-        self._clock = clock
-        self._fault_plan = config.fault_plan
         self._resilient = ResilientServer(
-            server, clock=clock, fault_plan=config.fault_plan
+            server,
+            clock=clock,
+            fault_plan=config.fault_plan,
+            registry=self._registry,
+            event_log=self._event_log,
         )
         if config.fault_plan is not None:
             source = getattr(server, "source", None)
             if source is not None:
                 config.fault_plan.attach(source)
-        self._publish_retries = 0
-        self._batcher = MicroBatcher.from_config(
-            self._serve_tagged, config, on_overload=self._on_overload
+        self._publishes = self._registry.counter(
+            "publish_total", "catalog versions published"
         )
+        self._publish_retry_count = self._registry.counter(
+            "publish_retries_total", "transient publish failures retried"
+        )
+        breaker = getattr(getattr(server, "source", None), "breaker", None)
+        if breaker is not None:
+            transitions = self._registry.counter(
+                "breaker_transitions_total",
+                "circuit-breaker state transitions",
+                labelnames=("from_state", "to_state"),
+            )
+
+            def _on_breaker(old: str, new: str) -> None:
+                transitions.labels(from_state=old, to_state=new).inc()
+                self._event_log.record("breaker", from_state=old, to_state=new)
+
+            breaker.listener = _on_breaker
+        self._batcher = MicroBatcher.from_config(
+            self._serve_tagged,
+            config,
+            on_overload=self._on_overload,
+            registry=self._registry,
+        )
+        # Legacy stats() dicts ride into the merged snapshot as named
+        # providers; req/s derives from the scheduler's served counter.
+        self._telemetry.add_provider("scheduler", lambda: self._batcher.stats)
+        self._telemetry.add_provider("resilience", self._resilient.stats)
+        retrieval = getattr(server, "retrieval_stats", None)
+        if retrieval is not None:
+            self._telemetry.add_provider("retrieval", retrieval)
+        self._telemetry.add_provider(
+            "catalog", lambda: {"version": self.catalog.version}
+        )
+        if config.fault_plan is not None:
+            self._telemetry.add_provider(
+                "faults_injected", config.fault_plan.stats
+            )
+        served_counter = self._registry.get("scheduler_served_total")
+        self._telemetry.set_served_total(lambda: served_counter.value)
 
     @classmethod
     def from_config(
@@ -163,6 +222,26 @@ class ServingRuntime:
         cap = self.config.queue_cap
         item.pressure += 1 + (depth - cap) // cap
 
+    def _maybe_trace(self) -> Trace | None:
+        """A fresh trace when this request is sampled, else ``None``.
+
+        Deterministic credit accumulator: at rate ``r`` exactly every
+        ``1/r``-th submission traces — no RNG is consumed, so the seeded
+        sample streams the parity tests pin are byte-identical whether
+        tracing is on or off.
+        """
+        rate = self._trace_rate
+        if rate <= 0.0:
+            return None
+        if rate >= 1.0:
+            return Trace(self._clock)
+        with self._trace_lock:
+            self._trace_credit += rate
+            if self._trace_credit >= 1.0:
+                self._trace_credit -= 1.0
+                return Trace(self._clock)
+        return None
+
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
@@ -176,7 +255,7 @@ class ServingRuntime:
         layer degrades or sheds against it.
         """
         return self._batcher.submit(
-            AdmittedRequest(request),
+            AdmittedRequest(request, trace=self._maybe_trace()),
             tag=self.catalog.snapshot(),
             deadline=request.deadline,
         )
@@ -185,7 +264,9 @@ class ServingRuntime:
         snapshot = self.catalog.snapshot()
         return [
             self._batcher.submit(
-                AdmittedRequest(request), tag=snapshot, deadline=request.deadline
+                AdmittedRequest(request, trace=self._maybe_trace()),
+                tag=snapshot,
+                deadline=request.deadline,
             )
             for request in requests
         ]
@@ -224,7 +305,8 @@ class ServingRuntime:
             except TransientError:
                 if attempt == self.config.publish_retries:
                     raise
-                self._publish_retries += 1
+                self._publish_retry_count.inc()
+                self._event_log.record("publish_retry", attempt=attempt + 1)
                 if delay > 0:
                     advance = getattr(self._clock, "advance", None)
                     if advance is not None:
@@ -235,6 +317,8 @@ class ServingRuntime:
         cache = getattr(self.server, "funnel_cache", None)
         if cache is not None:
             cache.invalidate(keep_version=version)
+        self._publishes.inc()
+        self._event_log.record("publish", version=version)
         return version
 
     @property
@@ -269,10 +353,16 @@ class ServingRuntime:
         # Degradation / shed accounting, and the running per-mode cost
         # estimates the deadline-budget check degrades against.
         stats["resilience"] = self._resilient.stats()
-        stats["publish_retries"] = self._publish_retries
+        stats["publish_retries"] = int(self._publish_retry_count.value)
         if self._fault_plan is not None:
             stats["faults_injected"] = self._fault_plan.stats()
         return stats
+
+    def telemetry(self) -> RuntimeTelemetry:
+        """The unified telemetry facade: ``telemetry().snapshot()`` is
+        the one versioned dict over every layer's visibility,
+        ``telemetry().to_text()`` the Prometheus-style page."""
+        return self._telemetry
 
     def close(self, drain: bool = True) -> None:
         """Close the batcher: ``drain=True`` serves queued requests,

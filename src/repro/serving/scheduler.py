@@ -57,6 +57,7 @@ import time
 from concurrent.futures import Future
 from typing import Any, Callable, Sequence
 
+from ..utils.metrics import MetricsRegistry
 from .resilience import DeadlineExceeded, OverloadError, ShutdownError
 
 __all__ = ["MicroBatcher"]
@@ -120,6 +121,7 @@ class MicroBatcher:
         queue_cap: int | None = None,
         overload_policy: str = "degrade",
         on_overload: Callable[[Any, int], None] | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
@@ -146,29 +148,74 @@ class MicroBatcher:
         self._cond = threading.Condition()
         self._pending: list[_Pending] = []
         self._closed = False
-        self._stats = {
-            "submitted": 0,
-            "served": 0,
-            "failed": 0,
-            "cancelled": 0,
-            "batches": 0,
-            "max_batch_size": 0,
-            # Admission accounting (in clock seconds): how deep the
-            # queue got, and how long dispatched requests sat in it —
-            # the "queue time" half of the pre-kernel cost, reported
-            # separately from funnel time by the retrieval benchmark.
-            "max_queue_depth": 0,
-            "dispatched": 0,
-            "admission_wait_total_s": 0.0,
-            "admission_wait_max_s": 0.0,
-            # Resilience accounting: admissions shed or degraded at the
-            # cap, solo-retry work, and per-request isolated failures.
-            "rejected": 0,
-            "degraded_admissions": 0,
-            "retries": 0,
-            "isolated_failures": 0,
-            "deadline_expired": 0,
-        }
+        # Counters live on registry primitives (each series has its own
+        # lock) so worker-thread increments never tear a reader — and so
+        # the runtime's telemetry page includes admission accounting for
+        # free when it passes its shared registry in.
+        metrics = registry if registry is not None else MetricsRegistry()
+        self.registry = metrics
+        self._submitted = metrics.counter(
+            "scheduler_submitted_total", "requests admitted into the queue"
+        )
+        self._served = metrics.counter(
+            "scheduler_served_total", "futures resolved with a response"
+        )
+        self._failed = metrics.counter(
+            "scheduler_failed_total", "futures resolved with an exception"
+        )
+        self._cancelled = metrics.counter(
+            "scheduler_cancelled_total", "futures cancelled before serving"
+        )
+        self._batches = metrics.counter(
+            "scheduler_batches_total", "dispatched micro-batches"
+        )
+        self._dispatched = metrics.counter(
+            "scheduler_dispatched_total", "requests leaving the queue in batches"
+        )
+        # Admission accounting (in clock seconds): how deep the queue
+        # got, and how long dispatched requests sat in it — the "queue
+        # time" half of the pre-kernel cost, reported separately from
+        # funnel time by the retrieval benchmark.
+        self._queue_depth = metrics.gauge(
+            "scheduler_queue_depth", "requests currently queued"
+        )
+        self._max_queue_depth = metrics.gauge(
+            "scheduler_max_queue_depth", "peak queue depth"
+        )
+        self._max_batch_size = metrics.gauge(
+            "scheduler_max_batch_size", "largest dispatched batch"
+        )
+        self._queue_wait = metrics.histogram(
+            "scheduler_queue_wait_seconds",
+            "queue-entry to batch-formation wait (clock seconds)",
+        )
+        self._queue_wait_max = metrics.gauge(
+            "scheduler_queue_wait_max_seconds", "longest observed queue wait"
+        )
+        self._latency = metrics.histogram(
+            "scheduler_request_latency_seconds",
+            "admission to future-resolution latency (clock seconds)",
+        )
+        # Resilience accounting: admissions shed or degraded at the cap,
+        # solo-retry work, and per-request isolated failures.
+        self._rejected = metrics.counter(
+            "scheduler_rejected_total", "submits rejected at the queue cap"
+        )
+        self._degraded_admissions = metrics.counter(
+            "scheduler_degraded_admissions_total",
+            "submits admitted with queue pressure at the cap",
+        )
+        self._retries = metrics.counter(
+            "scheduler_retries_total", "solo retries after a failed batch"
+        )
+        self._isolated_failures = metrics.counter(
+            "scheduler_isolated_failures_total",
+            "per-request failures isolated from their batch",
+        )
+        self._deadline_expired = metrics.counter(
+            "scheduler_deadline_expired_total",
+            "entries failed because their deadline passed before a retry",
+        )
         self._threads = [
             threading.Thread(
                 target=self._worker_loop, name=f"microbatcher-{i}", daemon=True
@@ -184,6 +231,7 @@ class MicroBatcher:
         serve: Callable[[list, Any], Sequence],
         config,
         on_overload: Callable[[Any, int], None] | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> "MicroBatcher":
         """A batcher from the admission fields of a ``ServingConfig``
         (``clock=None`` in the config means ``time.monotonic``)."""
@@ -196,6 +244,7 @@ class MicroBatcher:
             queue_cap=config.queue_cap,
             overload_policy=config.overload_policy,
             on_overload=on_overload,
+            registry=registry,
         )
 
     # ------------------------------------------------------------------
@@ -219,19 +268,19 @@ class MicroBatcher:
             depth = len(self._pending)
             if self.queue_cap is not None and depth >= self.queue_cap:
                 if self.overload_policy == "reject":
-                    self._stats["rejected"] += 1
+                    self._rejected.inc()
                     raise OverloadError(
                         f"queue depth {depth} is at the cap "
                         f"{self.queue_cap}; request rejected",
                         request=request,
                     )
-                self._stats["degraded_admissions"] += 1
+                self._degraded_admissions.inc()
                 if self._on_overload is not None:
                     self._on_overload(request, depth)
             self._pending.append(entry)
-            self._stats["submitted"] += 1
-            if len(self._pending) > self._stats["max_queue_depth"]:
-                self._stats["max_queue_depth"] = len(self._pending)
+            self._submitted.inc()
+            self._queue_depth.set(len(self._pending))
+            self._max_queue_depth.set_max(len(self._pending))
             self._cond.notify()
         return future
 
@@ -254,7 +303,8 @@ class MicroBatcher:
                     if not future.cancel():  # pragma: no cover - queued
                         return False  # futures are PENDING, so cancellable
                     del self._pending[position]
-                    self._stats["cancelled"] += 1
+                    self._cancelled.inc()
+                    self._queue_depth.set(len(self._pending))
                     return True
         return future.cancel()
 
@@ -265,11 +315,36 @@ class MicroBatcher:
 
     @property
     def stats(self) -> dict:
-        """Counter snapshot; ``queue_depth`` is the instantaneous value."""
+        """Counter snapshot; ``queue_depth`` is the instantaneous value.
+
+        The legacy dict shape, assembled from the registry primitives.
+        Outcome counters are read *before* ``submitted`` so the
+        ``served + failed + cancelled <= submitted`` invariant holds
+        even when the dict is assembled mid-flight.
+        """
+        served = int(self._served.value)
+        failed = int(self._failed.value)
+        cancelled = int(self._cancelled.value)
+        snapshot = {
+            "served": served,
+            "failed": failed,
+            "cancelled": cancelled,
+            "batches": int(self._batches.value),
+            "max_batch_size": int(self._max_batch_size.value),
+            "max_queue_depth": int(self._max_queue_depth.value),
+            "dispatched": int(self._dispatched.value),
+            "admission_wait_total_s": self._queue_wait.total,
+            "admission_wait_max_s": self._queue_wait_max.value,
+            "rejected": int(self._rejected.value),
+            "degraded_admissions": int(self._degraded_admissions.value),
+            "retries": int(self._retries.value),
+            "isolated_failures": int(self._isolated_failures.value),
+            "deadline_expired": int(self._deadline_expired.value),
+            "submitted": int(self._submitted.value),
+        }
         with self._cond:
-            snapshot = dict(self._stats)
             snapshot["queue_depth"] = len(self._pending)
-            return snapshot
+        return snapshot
 
     # ------------------------------------------------------------------
     # Dispatch triggers
@@ -290,10 +365,10 @@ class MicroBatcher:
         now = self._clock()
         for entry in batch:
             wait = now - entry.admitted
-            self._stats["admission_wait_total_s"] += wait
-            if wait > self._stats["admission_wait_max_s"]:
-                self._stats["admission_wait_max_s"] = wait
-        self._stats["dispatched"] += len(batch)
+            self._queue_wait.observe(wait)
+            self._queue_wait_max.set_max(wait)
+        self._dispatched.inc(len(batch))
+        self._queue_depth.set(len(self._pending))
         return batch
 
     # ------------------------------------------------------------------
@@ -391,9 +466,8 @@ class MicroBatcher:
                 failed += 1
             else:
                 cancelled += 1
-        with self._cond:
-            self._stats["failed"] += failed
-            self._stats["cancelled"] += cancelled
+        self._failed.inc(failed)
+        self._cancelled.inc(cancelled)
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -405,11 +479,8 @@ class MicroBatcher:
     # Execution
     # ------------------------------------------------------------------
     def _execute(self, batch: list[_Pending]) -> None:
-        with self._cond:
-            self._stats["batches"] += 1
-            self._stats["max_batch_size"] = max(
-                self._stats["max_batch_size"], len(batch)
-            )
+        self._batches.inc()
+        self._max_batch_size.set_max(len(batch))
         # One serve per distinct admission tag (= catalog snapshot):
         # requests admitted across a hot-swap stay on their own version.
         # Hashable tags group by equality — the tag is the dict key, so
@@ -437,8 +508,7 @@ class MicroBatcher:
         # kill the worker thread mid-batch.
         live = [m for m in members if m.future.set_running_or_notify_cancel()]
         if len(live) != len(members):
-            with self._cond:
-                self._stats["cancelled"] += len(members) - len(live)
+            self._cancelled.inc(len(members) - len(live))
         members = live
         if not members:
             return
@@ -487,14 +557,15 @@ class MicroBatcher:
                     else:
                         member.future.set_result(response)
                         succeeded += 1
-            with self._cond:
-                self._stats["served"] += succeeded
-                self._stats["failed"] += failed
-                self._stats["retries"] += retries
-                self._stats["isolated_failures"] += isolated
-                self._stats["deadline_expired"] += expired
+                self._latency.observe(self._clock() - member.admitted)
+            self._served.inc(succeeded)
+            self._failed.inc(failed)
+            self._retries.inc(retries)
+            self._isolated_failures.inc(isolated)
+            self._deadline_expired.inc(expired)
             return
         succeeded = failed = 0
+        now = self._clock()
         for member, response in zip(members, responses):
             # The backend may shed individual requests by returning an
             # exception instance in that slot (the resilience layer's
@@ -505,8 +576,8 @@ class MicroBatcher:
             else:
                 member.future.set_result(response)
                 succeeded += 1
-        with self._cond:
-            self._stats["served"] += succeeded
-            self._stats["failed"] += failed
-            if failed:
-                self._stats["isolated_failures"] += failed
+            self._latency.observe(now - member.admitted)
+        self._served.inc(succeeded)
+        self._failed.inc(failed)
+        if failed:
+            self._isolated_failures.inc(failed)

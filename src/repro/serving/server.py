@@ -79,8 +79,8 @@ each returns a valid greedy solution.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -103,6 +103,7 @@ from ..dpp.map_inference import (
 from ..utils.topk import top_k_indices
 from .catalog import CatalogSnapshot, ItemCatalog
 from .config import UNSET, ServingConfig, resolve_config
+from .observability import StageRecorder, stage_span
 
 __all__ = [
     "Request",
@@ -429,7 +430,14 @@ class Response:
     ``"quality-topk"`` rung no kernel runs, so ``log_probability`` is
     ``None`` for the same reason as a short greedy slate: there is no
     exact k-DPP probability to report.  ``served_mode=None`` on a
-    non-degraded response means "as requested"."""
+    non-degraded response means "as requested".
+
+    ``trace`` carries the finished per-stage
+    :class:`~repro.serving.observability.Trace` when the request was
+    sampled for tracing (``ServingConfig.trace_rate``), else ``None``.
+    It is diagnostic payload, excluded from equality and repr — two
+    responses that served the same slate compare equal whether or not
+    one was traced."""
 
     items: list[int]
     log_probability: float | None
@@ -439,6 +447,7 @@ class Response:
     version: int | None = None
     degraded: bool = False
     served_mode: str | None = None
+    trace: Any | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -624,16 +633,23 @@ class KDPPServer:
         self,
         requests: Sequence[Request],
         snapshot: CatalogSnapshot | None = None,
+        stages: StageRecorder | None = None,
     ) -> list[Response]:
         """Serve a batch of requests with shared catalog-scale work.
 
         ``snapshot`` pins the batch to one published catalog version
         (default: the current one); every response is stamped with it.
+        ``stages`` (optional, wired by the resilience layer when the
+        batch holds a traced request) collects the engine's batch-phase
+        spans — resolve / dual_build / eigh / normalizer / selection /
+        emit — through the recorder's injected clock.
         """
         snap = self._pin(snapshot)
-        resolved = [
-            self._resolve(request, i, snap) for i, request in enumerate(requests)
-        ]
+        with stage_span(stages, "resolve"):
+            resolved = [
+                self._resolve(request, i, snap)
+                for i, request in enumerate(requests)
+            ]
         responses: list[Response | None] = [None] * len(resolved)
         groups: dict[tuple, list[_Resolved]] = {}
         for item in resolved:
@@ -655,13 +671,13 @@ class KDPPServer:
         for (is_full, _, k, mode, has_session), members in groups.items():
             if not has_session:
                 if is_full:
-                    self._serve_full_group(members, k, mode, responses, snap)
+                    self._serve_full_group(members, k, mode, responses, snap, stages)
                 else:
-                    self._serve_sliced_group(members, k, mode, responses, snap)
+                    self._serve_sliced_group(members, k, mode, responses, snap, stages)
             elif is_full:
-                self._serve_full_session_group(members, k, mode, responses, snap)
+                self._serve_full_session_group(members, k, mode, responses, snap, stages)
             else:
-                self._serve_sliced_session_group(members, k, mode, responses, snap)
+                self._serve_sliced_session_group(members, k, mode, responses, snap, stages)
         return responses  # type: ignore[return-value]
 
     def _log_normalizers(
@@ -729,7 +745,10 @@ class KDPPServer:
         return coefficients / np.sqrt(selected)[:, None, :]
 
     def _group_spectra(
-        self, quality: np.ndarray, snap: CatalogSnapshot
+        self,
+        quality: np.ndarray,
+        snap: CatalogSnapshot,
+        stages: StageRecorder | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Dual spectra for a full-catalog request group.
 
@@ -757,8 +776,10 @@ class KDPPServer:
             dual_vectors[uniform] = cached_vectors
         general = ~uniform
         if np.any(general):
-            duals = snap.build_duals(quality[general] ** 2)
-            values, vectors = np.linalg.eigh(duals)
+            with stage_span(stages, "dual_build"):
+                duals = snap.build_duals(quality[general] ** 2)
+            with stage_span(stages, "eigh"):
+                values, vectors = np.linalg.eigh(duals)
             eigenvalues[general] = np.clip(values, 0.0, None)
             dual_vectors[general] = vectors
         return eigenvalues, dual_vectors
@@ -782,28 +803,32 @@ class KDPPServer:
         mode: str,
         responses: list,
         snap: CatalogSnapshot,
+        stages: StageRecorder | None = None,
     ) -> None:
         factors = snap.factors
         quality = np.stack([member.quality for member in members])
-        eigenvalues, dual_vectors = self._group_spectra(quality, snap)
-        log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
-        if mode == "sample":
-            rngs = [self._request_rng(member) for member in members]
-            coefficients = self._phase1_coefficients(
-                eigenvalues, dual_vectors, k, rngs
+        eigenvalues, dual_vectors = self._group_spectra(quality, snap, stages)
+        with stage_span(stages, "normalizer"):
+            log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
+        with stage_span(stages, "selection"):
+            if mode == "sample":
+                rngs = [self._request_rng(member) for member in members]
+                coefficients = self._phase1_coefficients(
+                    eigenvalues, dual_vectors, k, rngs
+                )
+                samples = batched_sample_elementary_shared(
+                    factors,
+                    quality,
+                    coefficients,
+                    rngs,
+                    gram_products=snap.gram_products(),
+                )
+            else:
+                samples = batched_greedy_map_shared(factors, quality, k)
+        with stage_span(stages, "emit"):
+            self._emit(
+                members, samples, log_normalizers, quality, None, k, responses, snap
             )
-            samples = batched_sample_elementary_shared(
-                factors,
-                quality,
-                coefficients,
-                rngs,
-                gram_products=snap.gram_products(),
-            )
-        else:
-            samples = batched_greedy_map_shared(factors, quality, k)
-        self._emit(
-            members, samples, log_normalizers, quality, None, k, responses, snap
-        )
 
     def _serve_sliced_group(
         self,
@@ -812,28 +837,34 @@ class KDPPServer:
         mode: str,
         responses: list,
         snap: CatalogSnapshot,
+        stages: StageRecorder | None = None,
     ) -> None:
-        candidates = np.stack([member.candidates for member in members])
-        local_quality = np.stack(
-            [member.quality[member.candidates] for member in members]
-        )
-        stack = local_quality[:, :, None] * snap.take_rows(candidates)
-        duals = np.matmul(np.swapaxes(stack, 1, 2), stack)
-        eigenvalues, dual_vectors = np.linalg.eigh(duals)
-        eigenvalues = np.clip(eigenvalues, 0.0, None)
-        log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
-        if mode == "sample":
-            rngs = [self._request_rng(member) for member in members]
-            coefficients = self._phase1_coefficients(
-                eigenvalues, dual_vectors, k, rngs
+        with stage_span(stages, "dual_build"):
+            candidates = np.stack([member.candidates for member in members])
+            local_quality = np.stack(
+                [member.quality[member.candidates] for member in members]
             )
-            bases = np.matmul(stack, coefficients)
-            samples = batched_sample_elementary_stacked(bases, rngs)
-        else:
-            samples = batched_greedy_map_stacked(stack, k)
-        self._emit(
-            members, samples, log_normalizers, None, stack, k, responses, snap
-        )
+            stack = local_quality[:, :, None] * snap.take_rows(candidates)
+            duals = np.matmul(np.swapaxes(stack, 1, 2), stack)
+        with stage_span(stages, "eigh"):
+            eigenvalues, dual_vectors = np.linalg.eigh(duals)
+        eigenvalues = np.clip(eigenvalues, 0.0, None)
+        with stage_span(stages, "normalizer"):
+            log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
+        with stage_span(stages, "selection"):
+            if mode == "sample":
+                rngs = [self._request_rng(member) for member in members]
+                coefficients = self._phase1_coefficients(
+                    eigenvalues, dual_vectors, k, rngs
+                )
+                bases = np.matmul(stack, coefficients)
+                samples = batched_sample_elementary_stacked(bases, rngs)
+            else:
+                samples = batched_greedy_map_stacked(stack, k)
+        with stage_span(stages, "emit"):
+            self._emit(
+                members, samples, log_normalizers, None, stack, k, responses, snap
+            )
 
     # ------------------------------------------------------------------
     # Session serving (history conditioning, pins, quotas)
@@ -922,6 +953,7 @@ class KDPPServer:
         mode: str,
         responses: list,
         snap: CatalogSnapshot,
+        stages: StageRecorder | None = None,
     ) -> None:
         """The full-catalog group path for session requests.
 
@@ -933,46 +965,55 @@ class KDPPServer:
         """
         factors = snap.factors
         quality = np.stack([member.quality for member in members])
-        units = [self._session_units(member.history, snap) for member in members]
-        duals = snap.build_duals(quality**2)
-        for b, basis in enumerate(units):
-            if basis is not None:
-                correction = duals[b] @ basis
-                duals[b] -= correction @ basis.T
-                duals[b] -= basis @ (correction.T - (basis.T @ correction) @ basis.T)
-        values, vectors = np.linalg.eigh(duals)
+        with stage_span(stages, "dual_build"):
+            units = [
+                self._session_units(member.history, snap) for member in members
+            ]
+            duals = snap.build_duals(quality**2)
+            for b, basis in enumerate(units):
+                if basis is not None:
+                    correction = duals[b] @ basis
+                    duals[b] -= correction @ basis.T
+                    duals[b] -= basis @ (
+                        correction.T - (basis.T @ correction) @ basis.T
+                    )
+        with stage_span(stages, "eigh"):
+            values, vectors = np.linalg.eigh(duals)
         eigenvalues = np.clip(values, 0.0, None)
-        log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
-        if mode == "sample":
-            rngs = [self._request_rng(member) for member in members]
-            coefficients = self._phase1_coefficients(
-                eigenvalues, vectors, k, rngs
-            )
-            samples = batched_sample_elementary_shared(
-                factors,
+        with stage_span(stages, "normalizer"):
+            log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
+        with stage_span(stages, "selection"):
+            if mode == "sample":
+                rngs = [self._request_rng(member) for member in members]
+                coefficients = self._phase1_coefficients(
+                    eigenvalues, vectors, k, rngs
+                )
+                samples = batched_sample_elementary_shared(
+                    factors,
+                    quality,
+                    coefficients,
+                    rngs,
+                    gram_products=snap.gram_products(),
+                )
+            else:
+                seeds, pins, quota = self._session_map_inputs(
+                    members, units, snap, stack=None
+                )
+                samples = batched_greedy_map_shared_session(
+                    factors, quality, k, seeds=seeds, pins=pins, quota=quota
+                )
+        with stage_span(stages, "emit"):
+            self._emit(
+                members,
+                samples,
+                log_normalizers,
                 quality,
-                coefficients,
-                rngs,
-                gram_products=snap.gram_products(),
+                None,
+                k,
+                responses,
+                snap,
+                units=units,
             )
-        else:
-            seeds, pins, quota = self._session_map_inputs(
-                members, units, snap, stack=None
-            )
-            samples = batched_greedy_map_shared_session(
-                factors, quality, k, seeds=seeds, pins=pins, quota=quota
-            )
-        self._emit(
-            members,
-            samples,
-            log_normalizers,
-            quality,
-            None,
-            k,
-            responses,
-            snap,
-            units=units,
-        )
 
     def _serve_sliced_session_group(
         self,
@@ -981,6 +1022,7 @@ class KDPPServer:
         mode: str,
         responses: list,
         snap: CatalogSnapshot,
+        stages: StageRecorder | None = None,
     ) -> None:
         """The candidate-slice group path for session requests: the
         per-request factor stack rows are deflated against the history
@@ -988,36 +1030,43 @@ class KDPPServer:
         conditioning), then the clean sliced machinery — stacked duals,
         normalizers, projector sampling — applies verbatim; constrained
         MAP runs the session greedy over the deflated stack."""
-        candidates = np.stack([member.candidates for member in members])
-        local_quality = np.stack(
-            [member.quality[member.candidates] for member in members]
-        )
-        stack = local_quality[:, :, None] * snap.take_rows(candidates)
-        units = [self._session_units(member.history, snap) for member in members]
-        for b, basis in enumerate(units):
-            if basis is not None:
-                stack[b] -= (stack[b] @ basis) @ basis.T
-        duals = np.matmul(np.swapaxes(stack, 1, 2), stack)
-        eigenvalues, dual_vectors = np.linalg.eigh(duals)
+        with stage_span(stages, "dual_build"):
+            candidates = np.stack([member.candidates for member in members])
+            local_quality = np.stack(
+                [member.quality[member.candidates] for member in members]
+            )
+            stack = local_quality[:, :, None] * snap.take_rows(candidates)
+            units = [
+                self._session_units(member.history, snap) for member in members
+            ]
+            for b, basis in enumerate(units):
+                if basis is not None:
+                    stack[b] -= (stack[b] @ basis) @ basis.T
+            duals = np.matmul(np.swapaxes(stack, 1, 2), stack)
+        with stage_span(stages, "eigh"):
+            eigenvalues, dual_vectors = np.linalg.eigh(duals)
         eigenvalues = np.clip(eigenvalues, 0.0, None)
-        log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
-        if mode == "sample":
-            rngs = [self._request_rng(member) for member in members]
-            coefficients = self._phase1_coefficients(
-                eigenvalues, dual_vectors, k, rngs
+        with stage_span(stages, "normalizer"):
+            log_normalizers = self._log_normalizers(eigenvalues, members, k, mode)
+        with stage_span(stages, "selection"):
+            if mode == "sample":
+                rngs = [self._request_rng(member) for member in members]
+                coefficients = self._phase1_coefficients(
+                    eigenvalues, dual_vectors, k, rngs
+                )
+                bases = np.matmul(stack, coefficients)
+                samples = batched_sample_elementary_stacked(bases, rngs)
+            else:
+                seeds, pins, quota = self._session_map_inputs(
+                    members, units, snap, stack=stack
+                )
+                samples = batched_greedy_map_stacked_session(
+                    stack, k, seeds=seeds, pins=pins, quota=quota
+                )
+        with stage_span(stages, "emit"):
+            self._emit(
+                members, samples, log_normalizers, None, stack, k, responses, snap
             )
-            bases = np.matmul(stack, coefficients)
-            samples = batched_sample_elementary_stacked(bases, rngs)
-        else:
-            seeds, pins, quota = self._session_map_inputs(
-                members, units, snap, stack=stack
-            )
-            samples = batched_greedy_map_stacked_session(
-                stack, k, seeds=seeds, pins=pins, quota=quota
-            )
-        self._emit(
-            members, samples, log_normalizers, None, stack, k, responses, snap
-        )
 
     def _emit(
         self,

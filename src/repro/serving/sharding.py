@@ -66,6 +66,7 @@ from ..retrieval.cache import session_token
 from ..utils.topk import top_k_indices
 from .catalog import CatalogSnapshot, VersionedExtensions
 from .config import UNSET, ServingConfig, resolve_config
+from .observability import StageRecorder, stage_span
 from .server import (
     KDPPServer,
     Request,
@@ -289,6 +290,7 @@ class ShardedKDPPServer(KDPPServer):
         members: list[tuple[int, Request, np.ndarray]],
         width: int,
         snap: ShardedSnapshot,
+        stages: StageRecorder | None = None,
     ) -> list[np.ndarray]:
         """One pool per member: funnel cache first, then the source.
 
@@ -319,7 +321,10 @@ class ShardedKDPPServer(KDPPServer):
             miss_rows.append(row)
         if miss_rows:
             stacked = np.stack([members[row][2] for row in miss_rows])
-            fresh = self.source.pools(stacked, width, snap)
+            # "source" nests inside the enclosing "funnel" span, so it
+            # is marked nested — coverage sums must not count it twice.
+            with stage_span(stages, "source", nested=True):
+                fresh = self.source.pools(stacked, width, snap)
             for out_row, row in enumerate(miss_rows):
                 pools[row] = fresh[out_row]
                 _, request, quality = members[row]
@@ -334,7 +339,12 @@ class ShardedKDPPServer(KDPPServer):
                     )
         return pools  # type: ignore[return-value]
 
-    def _lower(self, requests: Sequence[Request], snap: ShardedSnapshot) -> list[Request]:
+    def _lower(
+        self,
+        requests: Sequence[Request],
+        snap: ShardedSnapshot,
+        stages: StageRecorder | None = None,
+    ) -> list[Request]:
         """Rewrite every request as an explicit merged-pool slice.
 
         Funnel pools for same-width requests — rerank included — are
@@ -367,7 +377,7 @@ class ShardedKDPPServer(KDPPServer):
                 width = max(self.funnel_width, request.k)
             by_width.setdefault(width, []).append((index, request, quality))
         for width, members in by_width.items():
-            pools = self._funnel_pools(members, width, snap)
+            pools = self._funnel_pools(members, width, snap, stages)
             for row, (index, request, quality) in enumerate(members):
                 if request.mode == "topk-rerank":
                     # Exact global top-N over the union: per-shard top-N
@@ -431,9 +441,12 @@ class ShardedKDPPServer(KDPPServer):
         self,
         requests: Sequence[Request],
         snapshot: ShardedSnapshot | None = None,
+        stages: StageRecorder | None = None,
     ) -> list:
         snap = self._pin(snapshot)
-        responses = super().serve(self._lower(requests, snap), snapshot=snap)
+        with stage_span(stages, "funnel"):
+            lowered = self._lower(requests, snap, stages)
+        responses = super().serve(lowered, snapshot=snap, stages=stages)
         return self._restamp_modes(requests, responses)
 
     def serve_sequential(

@@ -1,7 +1,16 @@
-"""Shared utilities: deterministic RNG handling, top-k selection, timing."""
+"""Shared utilities: deterministic RNG handling, top-k selection, timing,
+and the zero-dependency metrics primitives behind serving telemetry."""
 
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .rng import ensure_rng, seeded_children, spawn
-from .timing import ManualClock, Stopwatch, latency_percentiles, timed
+from .timing import (
+    ManualClock,
+    Stopwatch,
+    histogram_percentile,
+    latency_percentiles,
+    log_buckets,
+    timed,
+)
 from .topk import rank_of_items, top_k_indices, top_k_indices_rows
 
 __all__ = [
@@ -15,4 +24,10 @@ __all__ = [
     "Stopwatch",
     "timed",
     "latency_percentiles",
+    "log_buckets",
+    "histogram_percentile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
 ]

@@ -1,12 +1,28 @@
-"""Tiny wall-clock timing utilities for the experiment harness."""
+"""Tiny wall-clock timing utilities for the experiment harness.
+
+Besides the clocks and stopwatches, this module owns the *shared* bucket
+math behind latency reporting: :func:`latency_percentiles` (exact, from
+raw samples — the benchmarks' convention) and the
+:func:`log_buckets` / :func:`histogram_percentile` pair that
+:class:`repro.utils.metrics.Histogram` aggregates live traffic with —
+one interpolation convention, derived in one place.
+"""
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
-__all__ = ["ManualClock", "Stopwatch", "timed", "latency_percentiles"]
+__all__ = [
+    "ManualClock",
+    "Stopwatch",
+    "timed",
+    "latency_percentiles",
+    "log_buckets",
+    "histogram_percentile",
+]
 
 
 class ManualClock:
@@ -32,24 +48,60 @@ class ManualClock:
 
 
 class Stopwatch:
-    """Accumulates elapsed time across start/stop cycles."""
+    """Accumulates elapsed time across start/stop cycles.
 
-    def __init__(self) -> None:
+    The clock is injectable (default ``time.perf_counter``) so span
+    timing in deterministic tests runs off a :class:`ManualClock`.
+    Besides explicit ``start()``/``stop()``, a stopwatch is a context
+    manager — ``with Stopwatch() as watch: ...`` — and :meth:`span`
+    times one labelled block and returns ``(label, start, end)``
+    afterwards, the tuple shape stage recorders collect.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
         self.elapsed = 0.0
         self._started: float | None = None
 
     def start(self) -> "Stopwatch":
         if self._started is not None:
             raise RuntimeError("stopwatch already running")
-        self._started = time.perf_counter()
+        self._started = self._clock()
         return self
 
     def stop(self) -> float:
         if self._started is None:
             raise RuntimeError("stopwatch is not running")
-        self.elapsed += time.perf_counter() - self._started
+        self.elapsed += self._clock() - self._started
         self._started = None
         return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        if self._started is not None:
+            self.stop()
+
+    @contextmanager
+    def span(self, label: str):
+        """Time one labelled block: ``with watch.span("eigh"): ...``.
+
+        Yields the stopwatch; the completed ``(label, start, end)``
+        tuple is appended to ``watch.spans`` (created on first use) and
+        the duration accumulates into ``elapsed`` as usual.
+        """
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        if not hasattr(self, "spans"):
+            self.spans: list[tuple[str, float, float]] = []
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            end = self._clock()
+            self.elapsed += end - start
+            self.spans.append((label, start, end))
 
 
 @contextmanager
@@ -88,3 +140,66 @@ def latency_percentiles(
         label = f"{percentile:g}"
         out[f"p{label}"] = value
     return out
+
+
+def log_buckets(
+    low: float = 1e-5, high: float = 10.0, per_decade: int = 4
+) -> list[float]:
+    """Geometric histogram bucket bounds from ``low`` to ``high``.
+
+    The default ladder — 10µs to 10s at 4 buckets per decade — is the
+    one :class:`repro.utils.metrics.Histogram` aggregates serving
+    latencies with: fine enough that a p99 read off the buckets stays
+    within one geometric step (~78%) of the exact sample percentile,
+    coarse enough that a histogram is 25 integers.
+    """
+    if low <= 0 or high <= low:
+        raise ValueError(f"need 0 < low < high, got low={low}, high={high}")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be positive, got {per_decade}")
+    decades = math.log10(high / low)
+    steps = math.ceil(decades * per_decade)
+    bounds = [low * 10 ** (i / per_decade) for i in range(steps + 1)]
+    if bounds[-1] > high:
+        bounds[-1] = float(high)
+    return bounds
+
+
+def histogram_percentile(
+    bounds: Sequence[float], counts: Sequence[int], percentile: float
+) -> float:
+    """Estimated percentile from cumulative-free bucket counts.
+
+    ``bounds`` are the finite upper bucket bounds; ``counts`` has one
+    extra trailing entry for the implicit +Inf overflow bucket.  Linear
+    interpolation inside the winning bucket (its lower bound is the
+    previous bound, 0.0 for the first) mirrors
+    :func:`latency_percentiles`'s convention on raw samples; the
+    overflow bucket reports its lower bound (the largest finite bound —
+    there is no upper edge to interpolate toward).  Empty histograms
+    report 0.0.
+    """
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+    if len(counts) != len(bounds) + 1:
+        raise ValueError(
+            f"counts must have {len(bounds) + 1} entries "
+            f"(finite buckets + overflow), got {len(counts)}"
+        )
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = percentile / 100.0 * total
+    running = 0.0
+    for position, count in enumerate(counts):
+        if count == 0:
+            continue
+        if running + count >= rank:
+            if position == len(bounds):
+                return float(bounds[-1])
+            lower = 0.0 if position == 0 else float(bounds[position - 1])
+            upper = float(bounds[position])
+            fraction = (rank - running) / count
+            return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+        running += count
+    return float(bounds[-1]) if bounds else 0.0

@@ -38,6 +38,17 @@ SERVING_API = {
     "CircuitBreaker",
     "FaultPlan",
     "DEGRADATION_LADDER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsReporter",
+    "RuntimeTelemetry",
+    "Span",
+    "StageRecorder",
+    "Trace",
+    "EventLog",
+    "TELEMETRY_SCHEMA_VERSION",
 }
 
 RETRIEVAL_API = {
@@ -94,6 +105,7 @@ def test_request_and_response_shapes():
         "cached",
         "degraded",
         "served_mode",
+        "trace",
     }
     # Frozen responses: the dataclass params say so.
     assert repro.serving.Response.__dataclass_params__.frozen
@@ -112,4 +124,6 @@ def test_request_and_response_shapes():
         "publish_retries",
         "publish_backoff",
         "fault_plan",
+        "trace_rate",
+        "event_log_capacity",
     }

@@ -1,0 +1,316 @@
+"""Product-health benchmark: audit overhead and canary fidelity.
+
+PR 9's auditing must be cheap when on and decisive when it matters:
+
+* **Overhead** — a closed-loop throughput run (submit a burst, wait for
+  every future, best of 3) at ``audit_rate=0`` (the default fast path)
+  vs ``audit_rate=1`` (every slate's quality mass, ILAD and
+  log-probability computed post-serve).  The CI-guarded contract: full
+  auditing keeps at least **90% of the unaudited req/s**.
+* **Canary fidelity** — the same deterministic publish exercised twice
+  (manual clock, inline dispatch).  A *corrupted* retrain — factor rows
+  collapsed toward one direction, the diversity catastrophe a k-DPP
+  stack exists to prevent — must trip ``canary_regression`` (ILAD
+  collapse) and pull ``runtime.health()`` off ``healthy``; a *clean*
+  retrain under identical load must do neither.  False negatives ship
+  broken factors, false positives train teams to ignore the pager.
+
+Recorded per run: req/s for both audit rates, the overhead ratio,
+audit aggregates per catalog version, and both canary verdicts.
+
+Entry points:
+
+* ``pytest benchmarks/bench_health.py`` — the CI guards above.
+* ``python benchmarks/bench_health.py [--output ...]`` — the JSON
+  baseline writer behind ``BENCH_health.json``.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) to shrink the
+workload to import-and-run-path coverage.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ is None and __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.serving import (
+    HEALTHY,
+    ItemCatalog,
+    Request,
+    ServingConfig,
+    ServingRuntime,
+)
+from repro.utils.timing import ManualClock
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _settings():
+    if _smoke():
+        return dict(
+            num_items=2048, rank=16, k=5, num_users=16, max_batch=16,
+            burst=200, trials=5, canary_traffic=48, canary_min_audits=16,
+        )
+    return dict(
+        num_items=20_000, rank=32, k=10, num_users=64, max_batch=32,
+        burst=1000, trials=3, canary_traffic=128, canary_min_audits=64,
+    )
+
+
+def make_world(settings, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(settings["num_items"], settings["rank"]))
+    factors /= np.linalg.norm(factors, axis=1, keepdims=True)
+    quality = np.exp(
+        rng.normal(scale=0.5, size=(settings["num_users"], settings["num_items"]))
+    )
+    return factors, quality
+
+
+def clean_retrain(settings, seed: int = 1) -> np.ndarray:
+    """A healthy retrain: same distribution, different draw."""
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(settings["num_items"], settings["rank"]))
+    return factors / np.linalg.norm(factors, axis=1, keepdims=True)
+
+
+def corrupted_retrain(settings, seed: int = 2) -> np.ndarray:
+    """A broken retrain: every row collapses toward one direction, so
+    any slate's intra-list distance craters — numerically servable
+    (the noise keeps the spectrum full-rank) but a product disaster."""
+    rng = np.random.default_rng(seed)
+    shape = (settings["num_items"], settings["rank"])
+    direction = np.ones(settings["rank"]) / np.sqrt(settings["rank"])
+    factors = np.tile(direction, (settings["num_items"], 1))
+    factors += 0.02 * rng.normal(size=shape)
+    return factors / np.linalg.norm(factors, axis=1, keepdims=True)
+
+
+def _burst_requests(settings, quality, count: int) -> list[Request]:
+    return [
+        Request(
+            quality=quality[i % quality.shape[0]],
+            k=settings["k"],
+            mode="sample",
+            seed=i,
+        )
+        for i in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Closed-loop throughput at a given audit rate
+# ----------------------------------------------------------------------
+def run_throughput(settings, factors, quality, audit_rate: float) -> dict:
+    """Best-of-``trials`` closed-loop req/s: submit a burst, await all."""
+    config = ServingConfig(
+        workers=1,
+        max_batch=settings["max_batch"],
+        max_wait=0.001,
+        audit_rate=audit_rate,
+    )
+    requests = _burst_requests(settings, quality, settings["burst"])
+    with ServingRuntime(ItemCatalog(factors), config=config) as runtime:
+        # Warm spectra / allocator outside every timed window.
+        runtime.serve_now(requests[: settings["max_batch"]])
+        best = float("inf")
+        for _ in range(settings["trials"]):
+            begin = time.perf_counter()
+            futures = runtime.submit_many(requests)
+            for future in futures:
+                future.result()
+            best = min(best, time.perf_counter() - begin)
+        audited = runtime.auditor.audited
+    return {
+        "audit_rate": audit_rate,
+        "req_per_s": settings["burst"] / best,
+        "best_s": best,
+        "audited": audited,
+    }
+
+
+def run_overhead(settings, factors, quality) -> dict:
+    baseline = run_throughput(settings, factors, quality, audit_rate=0.0)
+    audited = run_throughput(settings, factors, quality, audit_rate=1.0)
+    return {
+        "baseline": baseline,
+        "audited": audited,
+        "throughput_ratio": audited["req_per_s"] / baseline["req_per_s"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Canary fidelity: corrupted vs clean publish, identical load
+# ----------------------------------------------------------------------
+def run_publish_canary(settings, factors, quality, retrained) -> dict:
+    """Serve, publish ``retrained``, serve again; report the verdict.
+
+    Deterministic on purpose (manual clock, inline dispatch, seeded
+    sampling): the corrupted/clean contrast must be a property of the
+    factors, never of scheduling noise.
+    """
+    config = ServingConfig(
+        workers=0,
+        clock=ManualClock(),
+        max_batch=settings["max_batch"],
+        audit_rate=1.0,
+        canary_min_audits=settings["canary_min_audits"],
+    )
+    traffic = _burst_requests(settings, quality, settings["canary_traffic"])
+    with ServingRuntime(ItemCatalog(factors), config=config) as runtime:
+        for phase in ("baseline", "candidate"):
+            if phase == "candidate":
+                runtime.publish(retrained)
+            futures = runtime.submit_many(traffic)
+            runtime.flush()
+            for future in futures:
+                future.result()
+        report = runtime.last_canary
+        health = runtime.health()
+        kinds = [e["kind"] for e in runtime.telemetry().event_log.snapshot()]
+        baseline_view = runtime.auditor.aggregate(0)
+        candidate_view = runtime.auditor.aggregate(1)
+    return {
+        "regression_events": kinds.count("canary_regression"),
+        "health": health.status,
+        "health_reasons": list(health.reasons),
+        "canary": None if report is None else report.to_dict(),
+        "baseline_ilad": baseline_view["ilad"],
+        "candidate_ilad": candidate_view["ilad"],
+        "baseline_quality_mass": baseline_view["quality_mass"],
+        "candidate_quality_mass": candidate_view["quality_mass"],
+    }
+
+
+def run_canary_fidelity(settings, factors, quality) -> dict:
+    corrupted = run_publish_canary(
+        settings, factors, quality, corrupted_retrain(settings)
+    )
+    clean = run_publish_canary(
+        settings, factors, quality, clean_retrain(settings)
+    )
+    return {"corrupted": corrupted, "clean": clean}
+
+
+# ----------------------------------------------------------------------
+# pytest targets: the CI guards
+# ----------------------------------------------------------------------
+def test_full_auditing_overhead_stays_under_ten_percent():
+    """CI guard: audit_rate=1 keeps ≥90% of the unaudited throughput."""
+    settings = _settings()
+    factors, quality = make_world(settings)
+    overhead = run_overhead(settings, factors, quality)
+    assert overhead["audited"]["audited"] >= settings["burst"]
+    assert overhead["baseline"]["audited"] == 0
+    assert overhead["throughput_ratio"] >= 0.9, (
+        f"auditing overhead exceeded 10%: "
+        f"{overhead['baseline']['req_per_s']:.0f} req/s unaudited vs "
+        f"{overhead['audited']['req_per_s']:.0f} audited "
+        f"(ratio {overhead['throughput_ratio']:.3f})"
+    )
+
+
+def test_corrupted_publish_trips_canary_and_clean_does_not():
+    """CI guard: collapsed factors page, a healthy retrain stays quiet."""
+    settings = _settings()
+    factors, quality = make_world(settings)
+    fidelity = run_canary_fidelity(settings, factors, quality)
+    corrupted, clean = fidelity["corrupted"], fidelity["clean"]
+    assert corrupted["regression_events"] >= 1, (
+        f"corrupted publish never tripped canary_regression: {corrupted}"
+    )
+    assert not corrupted["canary"]["passed"]
+    assert "ilad" in corrupted["canary"]["regressions"]
+    assert corrupted["health"] != HEALTHY, (
+        f"health stayed {corrupted['health']} through an ILAD collapse"
+    )
+    # the collapse is real, not a tolerance artifact
+    assert corrupted["candidate_ilad"] < 0.5 * corrupted["baseline_ilad"]
+    assert clean["regression_events"] == 0, (
+        f"clean republish false-paged: {clean}"
+    )
+    assert clean["canary"]["passed"]
+    assert clean["health"] == HEALTHY, f"clean publish left health {clean}"
+
+
+# ----------------------------------------------------------------------
+# Standalone baseline writer
+# ----------------------------------------------------------------------
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON baseline here (default: print only)",
+    )
+    args = parser.parse_args(argv)
+    settings = _settings()
+    factors, quality = make_world(settings)
+
+    results = {
+        "workload": (
+            "product health: closed-loop audit overhead (audit_rate 0 "
+            "vs 1) and corrupted-vs-clean publish canary fidelity"
+        ),
+        "settings": dict(settings),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+    print(f"== audit overhead (burst={settings['burst']}, best of "
+          f"{settings['trials']}) ==")
+    overhead = run_overhead(settings, factors, quality)
+    results["overhead"] = {
+        "baseline_req_per_s": round(overhead["baseline"]["req_per_s"], 1),
+        "audited_req_per_s": round(overhead["audited"]["req_per_s"], 1),
+        "throughput_ratio": round(overhead["throughput_ratio"], 4),
+        "audited_responses": overhead["audited"]["audited"],
+    }
+    print(
+        f"  unaudited: {overhead['baseline']['req_per_s']:>8.0f} req/s\n"
+        f"    audited: {overhead['audited']['req_per_s']:>8.0f} req/s "
+        f"(ratio {overhead['throughput_ratio']:.3f}, "
+        f"{overhead['audited']['audited']} slates audited)"
+    )
+
+    print(f"\n== publish canary fidelity "
+          f"(traffic={settings['canary_traffic']}/version, "
+          f"min_audits={settings['canary_min_audits']}) ==")
+    fidelity = run_canary_fidelity(settings, factors, quality)
+    results["canary"] = {
+        scenario: {
+            "regression_events": view["regression_events"],
+            "health": view["health"],
+            "passed": view["canary"]["passed"],
+            "regressions": view["canary"]["regressions"],
+            "baseline_ilad": round(view["baseline_ilad"], 4),
+            "candidate_ilad": round(view["candidate_ilad"], 4),
+        }
+        for scenario, view in fidelity.items()
+    }
+    for scenario, view in results["canary"].items():
+        print(
+            f"  {scenario:>9}: canary "
+            f"{'PASS' if view['passed'] else 'REGRESSED ' + str(view['regressions'])}"
+            f", health={view['health']}, "
+            f"ilad {view['baseline_ilad']} -> {view['candidate_ilad']}"
+        )
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nbaseline written to {args.output}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

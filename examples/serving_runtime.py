@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.retrieval import FunnelCache, QuantileFunnel
 from repro.serving import (
+    SLO,
     Request,
     ServingConfig,
     ServingRuntime,
@@ -55,9 +56,14 @@ def main() -> None:
     # funnel cache short-circuits it entirely for repeat visitors.  One
     # ServingConfig carries every infrastructure knob for the stack.
     funnel_cache = FunnelCache()
+    # Product health (PR 9): audit every slate's quality mass / ILAD /
+    # log-probability, canary-compare each publish against the pre-swap
+    # baseline, and track a latency SLO with fast/slow burn windows.
     config = ServingConfig(
         max_batch=16, max_wait=0.002, workers=1, funnel_width=24,
         source=QuantileFunnel(), funnel_cache=funnel_cache,
+        audit_rate=1.0, canary_min_audits=4,
+        slos=(SLO("p99-latency", "latency", target=0.250),),
     )
     with ServingRuntime.from_config(catalog, config) as runtime:
         user_quality: dict[int, np.ndarray] = {}
@@ -107,6 +113,39 @@ def main() -> None:
             f"{retrieval['cache']['misses']} misses "
             f"({retrieval['cache']['invalidations']} invalidated on publish)"
         )
+
+        # -------------------------------------------------------------
+        # Product health: the audited windows feed a post-publish
+        # canary (new version vs. the baseline frozen before the swap)
+        # and runtime.health() folds SLO burn rates, canary verdicts
+        # and drift flags into one status.
+        # -------------------------------------------------------------
+        health = runtime.health()
+        print(f"\nhealth: {health.status}" + (
+            f" ({'; '.join(health.reasons)})" if health.reasons else ""
+        ))
+        for evaluation in health.slos:
+            print(
+                f"  SLO {evaluation['name']}: burn "
+                f"{evaluation['fast_burn']:.2f}x fast / "
+                f"{evaluation['slow_burn']:.2f}x slow over "
+                f"{evaluation['slow_events']} requests"
+            )
+        report = runtime.last_canary
+        if report is not None:
+            verdict = "PASS" if report.passed else (
+                f"REGRESSED on {', '.join(report.regressions)}"
+            )
+            print(
+                f"canary v{report.baseline_version} → v{report.version}: "
+                f"{verdict} after {report.audits} audited slates"
+            )
+            for name, entry in report.metrics.items():
+                if entry["baseline"] is not None and entry["current"] is not None:
+                    print(
+                        f"  {name}: {entry['baseline']:.4f} → "
+                        f"{entry['current']:.4f}"
+                    )
 
         # -------------------------------------------------------------
         # Session-aware paging: one user scrolling three pages.  The

@@ -61,11 +61,36 @@ sheds / breaker transitions / publishes, and the
 :meth:`~repro.serving.runtime.ServingRuntime.telemetry` — one versioned
 snapshot over every layer's stats, with a :class:`MetricsReporter` for
 periodic emission.
+
+Product health (PR 9) lives in :mod:`repro.serving.health`: sampled
+slate-quality auditing (``ServingConfig.audit_rate`` →
+:class:`ResponseAuditor` — quality mass, intra-list distance,
+log-probability per audited slate, from the pinned snapshot's factor
+rows), post-publish canary comparisons (:class:`CanaryReport`,
+``canary_regression`` events), windowed drift detection
+(:class:`DriftDetector`), declarative :class:`SLO` objectives with
+fast/slow burn-rate evaluation (:class:`SLOTracker`), the
+:class:`AlertSink` callback channel, and
+:meth:`~repro.serving.runtime.ServingRuntime.health` returning a
+:class:`HealthStatus` verdict.
 """
 
 from .bridge import RecommenderBridge, quality_from_scores
 from .catalog import CatalogSnapshot, ItemCatalog
 from .config import ServingConfig
+from .health import (
+    DEGRADED,
+    HEALTHY,
+    SLO,
+    UNHEALTHY,
+    AlertSink,
+    CanaryReport,
+    DriftDetector,
+    HealthStatus,
+    ResponseAuditor,
+    SLOTracker,
+    WindowedStat,
+)
 from .observability import (
     TELEMETRY_SCHEMA_VERSION,
     Counter,
@@ -134,4 +159,15 @@ __all__ = [
     "Trace",
     "EventLog",
     "TELEMETRY_SCHEMA_VERSION",
+    "ResponseAuditor",
+    "CanaryReport",
+    "SLO",
+    "SLOTracker",
+    "HealthStatus",
+    "AlertSink",
+    "DriftDetector",
+    "WindowedStat",
+    "HEALTHY",
+    "DEGRADED",
+    "UNHEALTHY",
 ]

@@ -82,6 +82,39 @@ class ServingConfig:
         ``event_log_capacity`` bounds the runtime's ring-buffer
         :class:`~repro.serving.observability.EventLog` of degradations,
         sheds, breaker transitions and publishes.
+    audit_rate / audit_window:
+        Product-health auditing (:mod:`repro.serving.health`).
+        ``audit_rate`` is the fraction of served responses whose slate
+        quality (quality mass, ILAD, log-probability, length) is
+        measured post-serve by the
+        :class:`~repro.serving.health.ResponseAuditor` — the same
+        deterministic credit sampling as ``trace_rate``, so the default
+        ``0.0`` stays bit-identical, seeded samples included.
+        ``audit_window`` bounds the per-version
+        :class:`~repro.serving.health.WindowedStat` audit windows.
+    canary_min_audits / canary_tolerance:
+        Publish canaries: a :meth:`ServingRuntime.publish` arms a
+        comparison of the new version's audit windows against the
+        pre-swap baseline once both sides hold ``canary_min_audits``
+        audited responses; a metric moving beyond ``canary_tolerance``
+        in the bad direction emits a ``canary_regression`` event +
+        alert (see :class:`~repro.serving.health.CanaryReport` for the
+        per-metric direction rules).
+    drift_window / drift_threshold:
+        Drift detection over audited quality mass and ILAD:
+        reference-vs-current windows of ``drift_window`` samples, a
+        mean shift beyond ``drift_threshold`` pooled standard errors
+        (with a relative floor) emits a ``drift`` event.
+    slos:
+        Declarative :class:`~repro.serving.health.SLO` objectives the
+        runtime's :class:`~repro.serving.health.SLOTracker` evaluates
+        with fast/slow burn-rate windows; ``None`` (default) tracks no
+        SLOs and ``runtime.health()`` reports from canary/drift flags
+        alone.
+    alert_sink:
+        Optional ``callable(alert: dict)`` receiving every canary /
+        drift / SLO-burn alert (wired into the runtime's
+        :class:`~repro.serving.health.AlertSink`).
     """
 
     rerank_pool: int = 100
@@ -99,6 +132,14 @@ class ServingConfig:
     fault_plan: Any | None = None
     trace_rate: float = 0.0
     event_log_capacity: int = 1024
+    audit_rate: float = 0.0
+    audit_window: int = 256
+    canary_min_audits: int = 32
+    canary_tolerance: float = 0.1
+    drift_window: int = 128
+    drift_threshold: float = 3.0
+    slos: Any | None = None
+    alert_sink: Callable[[dict], None] | None = None
 
     def __post_init__(self) -> None:
         if self.rerank_pool < 1:
@@ -144,6 +185,42 @@ class ServingConfig:
                 f"event_log_capacity must be positive, "
                 f"got {self.event_log_capacity}"
             )
+        if not 0.0 <= self.audit_rate <= 1.0:
+            raise ValueError(
+                f"audit_rate must be in [0, 1], got {self.audit_rate}"
+            )
+        if self.audit_window < 2:
+            raise ValueError(
+                f"audit_window must be >= 2, got {self.audit_window}"
+            )
+        if self.canary_min_audits < 1:
+            raise ValueError(
+                f"canary_min_audits must be positive, "
+                f"got {self.canary_min_audits}"
+            )
+        if self.canary_tolerance <= 0:
+            raise ValueError(
+                f"canary_tolerance must be positive, "
+                f"got {self.canary_tolerance}"
+            )
+        if self.drift_window < 2:
+            raise ValueError(
+                f"drift_window must be >= 2, got {self.drift_window}"
+            )
+        if self.drift_threshold <= 0:
+            raise ValueError(
+                f"drift_threshold must be positive, got {self.drift_threshold}"
+            )
+        if self.slos is not None:
+            from .health import SLO
+
+            for slo in self.slos:
+                if not isinstance(slo, SLO):
+                    raise ValueError(
+                        f"slos must be SLO instances, got {slo!r}"
+                    )
+        if self.alert_sink is not None and not callable(self.alert_sink):
+            raise ValueError("alert_sink must be callable (or None)")
 
     def replace(self, **changes) -> "ServingConfig":
         """A copy with ``changes`` applied (re-validated)."""

@@ -67,7 +67,9 @@ __all__ = [
 ]
 
 #: bump when the RuntimeTelemetry.snapshot() key layout changes
-TELEMETRY_SCHEMA_VERSION = 1
+#: (2: product-health sections — top-level ``health`` / ``audit`` keys,
+#: ``new_events`` tails on MetricsReporter-emitted snapshots)
+TELEMETRY_SCHEMA_VERSION = 2
 
 
 class Span:
@@ -276,16 +278,32 @@ class EventLog:
             self._events.append(event)
         return event
 
-    def snapshot(self, kind: str | None = None, limit: int | None = None) -> list[dict]:
-        """Oldest-first retained events, optionally filtered by kind and
+    def snapshot(
+        self,
+        kind: str | None = None,
+        limit: int | None = None,
+        since_seq: int | None = None,
+    ) -> list[dict]:
+        """Oldest-first retained events, optionally filtered by kind,
+        restricted to sequence numbers after ``since_seq`` (incremental
+        tailing: pass the last ``seq`` you saw to get only new events —
+        overwritten ones surface in :meth:`stats`'s ``dropped``), and
         truncated to the most recent ``limit``."""
         with self._lock:
             events = list(self._events)
+        if since_seq is not None:
+            events = [event for event in events if event["seq"] > since_seq]
         if kind is not None:
             events = [event for event in events if event["kind"] == kind]
         if limit is not None:
             events = events[-limit:]
         return events
+
+    @property
+    def last_seq(self) -> int:
+        """The most recently assigned sequence number (0 before any)."""
+        with self._lock:
+            return self._recorded
 
     def __len__(self) -> int:
         with self._lock:
@@ -325,10 +343,17 @@ class RuntimeTelemetry:
         self._started = clock()
         self._providers: dict[str, Callable[[], Any]] = {}
         self._served_total: Callable[[], float] | None = None
+        self._health_provider: Callable[[], dict] | None = None
 
     def add_provider(self, name: str, provider: Callable[[], Any]) -> None:
         """Register one legacy ``stats()`` callable under a snapshot key."""
         self._providers[name] = provider
+
+    def set_health(self, provider: Callable[[], dict]) -> None:
+        """The ``runtime.health()`` dict provider: fills the snapshot's
+        ``health`` section and refreshes the health/burn gauges before
+        every :meth:`to_text` render."""
+        self._health_provider = provider
 
     def set_served_total(self, served_total: Callable[[], float]) -> None:
         """The running served-request count req/s is derived from."""
@@ -358,17 +383,32 @@ class RuntimeTelemetry:
         }
         for name, provider in self._providers.items():
             out[name] = provider()
+        if self._health_provider is not None:
+            out["health"] = self._health_provider()
         return out
 
     def to_text(self) -> str:
         """Prometheus exposition: every registered family plus the
-        derived ``serving_uptime_seconds`` / ``serving_requests_per_second``."""
+        derived ``serving_uptime_seconds`` / ``serving_requests_per_second``
+        (and, when a health provider is wired, a
+        ``serving_health_info{status=...}`` marker — evaluating health
+        first also refreshes the registry's status/burn gauges)."""
+        health = (
+            self._health_provider() if self._health_provider is not None else None
+        )
         lines = [
             "# TYPE serving_uptime_seconds gauge",
             f"serving_uptime_seconds {self.uptime!r}",
             "# TYPE serving_requests_per_second gauge",
             f"serving_requests_per_second {self.requests_per_second()!r}",
         ]
+        if health is not None:
+            lines.extend(
+                [
+                    "# TYPE serving_health_info gauge",
+                    f'serving_health_info{{status="{health["status"]}"}} 1',
+                ]
+            )
         return self.registry.to_text() + "\n".join(lines) + "\n"
 
 
@@ -405,6 +445,7 @@ class MetricsReporter:
         self._emit = emit
         self.reports: deque[dict] = deque(maxlen=keep)
         self._last = self._clock()
+        self._event_cursor = 0
         self._closed = threading.Event()
         self._thread: threading.Thread | None = None
         if workers:
@@ -426,6 +467,15 @@ class MetricsReporter:
 
     def emit_now(self) -> dict:
         snapshot = self.telemetry.snapshot()
+        # Incremental tail: only events this reporter has not emitted
+        # before (the seq cursor survives ring-buffer overwrites — what
+        # was overwritten unseen shows up in event_log stats' dropped).
+        new_events = self.telemetry.event_log.snapshot(
+            since_seq=self._event_cursor
+        )
+        if new_events:
+            self._event_cursor = new_events[-1]["seq"]
+        snapshot["new_events"] = new_events
         self.reports.append(snapshot)
         self._last = self._clock()
         if self._emit is not None:

@@ -339,6 +339,30 @@ class ResilientServer:
             "resilience_quality_topk_total",
             "requests shed to the terminal quality-topk rung",
         )
+        # Version-labeled hot-path families (the unlabeled totals above
+        # keep the legacy stats() shapes): publish canaries read
+        # degradation rate and p99 service time per catalog version
+        # straight off the registry.
+        self._served_by_version = metrics.counter(
+            "runtime_served_total",
+            "responses served, labeled by catalog version",
+            labelnames=("version",),
+        )
+        self._degraded_by_version = metrics.counter(
+            "runtime_degraded_total",
+            "degraded (incl. shed) responses, labeled by catalog version",
+            labelnames=("version",),
+        )
+        self._failed_by_version = metrics.counter(
+            "runtime_failed_total",
+            "requests resolved with a serving error, labeled by catalog version",
+            labelnames=("version",),
+        )
+        self._request_seconds_by_version = metrics.histogram(
+            "runtime_request_seconds",
+            "per-request engine service time, labeled by catalog version",
+            labelnames=("version",),
+        )
         # Stage recorders only help when the wrapped engine accepts a
         # ``stages=`` recorder; custom servers without the kwarg are
         # served exactly as before (checked once, not per batch).
@@ -366,6 +390,7 @@ class ResilientServer:
     ) -> list:
         self._admitted.inc(len(admitted))
         now = self._clock()
+        version_label = str(getattr(snapshot, "version", "none"))
         results: list = [None] * len(admitted)
         engine: list[tuple[int, AdmittedRequest, str]] = []
         shed: list[tuple[int, AdmittedRequest]] = []
@@ -380,6 +405,7 @@ class ResilientServer:
             deadline = request.deadline
             if deadline is not None and now >= deadline:
                 self._deadline_exceeded.inc()
+                self._failed_by_version.labels(version=version_label).inc()
                 self.event_log.record(
                     "deadline_exceeded",
                     index=position,
@@ -479,12 +505,21 @@ class ResilientServer:
                     )
             engine_end = start + elapsed
             per_request = elapsed / len(requests) if requests else 0.0
+            self._served_by_version.labels(version=version_label).inc(
+                len(requests)
+            )
             for (position, item, mode), response in zip(engine, responses):
                 request = item.request
                 self.cost_model.observe(mode, per_request)
+                self._request_seconds_by_version.labels(
+                    version=version_label
+                ).observe(per_request)
                 restamp: dict = {}
                 if mode != request.mode:
                     self._degraded.inc()
+                    self._degraded_by_version.labels(
+                        version=version_label
+                    ).inc()
                     restamp.update(
                         mode=request.mode, served_mode=mode, degraded=True
                     )
@@ -545,8 +580,15 @@ class ResilientServer:
             per_request = elapsed / len(shed)
             for _ in shed:
                 self.cost_model.observe(QUALITY_TOPK, per_request)
+                self._request_seconds_by_version.labels(
+                    version=version_label
+                ).observe(per_request)
             self._degraded.inc(len(shed))
             self._quality_topk.inc(len(shed))
+            self._served_by_version.labels(version=version_label).inc(len(shed))
+            self._degraded_by_version.labels(version=version_label).inc(
+                len(shed)
+            )
         return results
 
 

@@ -44,6 +44,16 @@ import numpy as np
 from ..utils.metrics import MetricsRegistry
 from .catalog import ItemCatalog
 from .config import UNSET, ServingConfig, resolve_config
+from .health import (
+    _STATUS_SEVERITY,
+    DEGRADED,
+    HEALTHY,
+    AlertSink,
+    CanaryReport,
+    HealthStatus,
+    ResponseAuditor,
+    SLOTracker,
+)
 from .observability import EventLog, RuntimeTelemetry, Trace
 from .resilience import AdmittedRequest, ResilientServer, TransientError
 from .scheduler import MicroBatcher
@@ -176,6 +186,36 @@ class ServingRuntime:
                 self._event_log.record("breaker", from_state=old, to_state=new)
 
             breaker.listener = _on_breaker
+        # Product health (PR 9): the alert channel, the SLO burn
+        # tracker, and the sampled slate auditor — all fed post-serve
+        # by _serve_tagged, so the engine's batch window never pays.
+        self._alert_sink = AlertSink(
+            callback=config.alert_sink, clock=clock
+        )
+        self._slo_tracker = SLOTracker(
+            slos=tuple(config.slos) if config.slos is not None else (),
+            clock=clock,
+            registry=self._registry,
+            event_log=self._event_log,
+            alert_sink=self._alert_sink,
+        )
+        self._auditor = ResponseAuditor(
+            self._registry,
+            self._event_log,
+            clock=clock,
+            audit_rate=config.audit_rate,
+            window=config.audit_window,
+            canary_min_audits=config.canary_min_audits,
+            canary_tolerance=config.canary_tolerance,
+            drift_window=config.drift_window,
+            drift_threshold=config.drift_threshold,
+            slo_tracker=self._slo_tracker,
+            alert_sink=self._alert_sink,
+        )
+        self._health_gauge = self._registry.gauge(
+            "serving_health_status",
+            "runtime.health(): 0 healthy / 1 degraded / 2 unhealthy",
+        )
         self._batcher = MicroBatcher.from_config(
             self._serve_tagged,
             config,
@@ -196,6 +236,8 @@ class ServingRuntime:
             self._telemetry.add_provider(
                 "faults_injected", config.fault_plan.stats
             )
+        self._telemetry.add_provider("audit", self._auditor.stats)
+        self._telemetry.set_health(lambda: self.health().to_dict())
         served_counter = self._registry.get("scheduler_served_total")
         self._telemetry.set_served_total(lambda: served_counter.value)
 
@@ -213,7 +255,15 @@ class ServingRuntime:
     def _serve_tagged(
         self, admitted: list[AdmittedRequest], snapshot
     ) -> Sequence:
-        return self._resilient.serve_admitted(admitted, snapshot)
+        start = self._clock()
+        results = self._resilient.serve_admitted(admitted, snapshot)
+        # Post-serve product-health hook: version counters land in the
+        # resilient layer, SLO windows and credit-sampled slate audits
+        # here — after the batch resolved, never inside its window.
+        self._auditor.observe_batch(
+            admitted, results, snapshot, self._clock() - start
+        )
+        return results
 
     def _on_overload(self, item: AdmittedRequest, depth: int) -> None:
         """Degrade-policy callback: each full multiple of the cap in the
@@ -294,7 +344,22 @@ class ServingRuntime:
         ``config.publish_backoff`` — slept through the injected clock
         when it is a manual one, so chaos tests never block on wall
         time.  Non-transient errors propagate immediately.
+
+        When auditing is on, the pre-swap version's audit windows are
+        frozen *before* the swap as the canary baseline; once the new
+        version accrues ``config.canary_min_audits`` audited responses
+        the auditor emits a :class:`~repro.serving.health.CanaryReport`
+        (a ``canary_regression`` event + alert if quality regressed).
         """
+        # Freeze the baseline before the swap: audits racing this
+        # publish keep landing in the old version's windows, but the
+        # comparison point is pinned to the moment the swap began.
+        # (Skipped entirely when auditing is off — no extra events.)
+        baseline = (
+            self._auditor.canary_baseline(self.catalog.version)
+            if self._auditor.rate > 0
+            else None
+        )
         delay = self.config.publish_backoff
         for attempt in range(self.config.publish_retries + 1):
             try:
@@ -319,11 +384,50 @@ class ServingRuntime:
             cache.invalidate(keep_version=version)
         self._publishes.inc()
         self._event_log.record("publish", version=version)
+        if baseline is not None:
+            self._auditor.arm_canary(baseline, version)
         return version
 
     @property
     def version(self) -> int:
         return self.catalog.version
+
+    # ------------------------------------------------------------------
+    # Product health
+    # ------------------------------------------------------------------
+    def health(self) -> HealthStatus:
+        """The runtime's product-health verdict right now.
+
+        SLO burn rates (fast/slow multi-window, on the injected clock)
+        decide ``unhealthy`` (both windows burning) vs ``degraded``
+        (one window hot); a regressed canary targeting the live catalog
+        version or flagged metric drift lifts ``healthy`` to
+        ``degraded``.  Also refreshes the ``serving_health_status`` /
+        ``slo_burn_rate`` gauges the text exposition renders.
+        """
+        status, reasons, evaluations = self._slo_tracker.health(self._clock())
+        audit_reasons = self._auditor.health_reasons(self.catalog.version)
+        if audit_reasons and status == HEALTHY:
+            status = DEGRADED
+        reasons.extend(audit_reasons)
+        self._health_gauge.set(_STATUS_SEVERITY[status])
+        return HealthStatus(
+            status=status, reasons=tuple(reasons), slos=evaluations
+        )
+
+    @property
+    def auditor(self) -> ResponseAuditor:
+        return self._auditor
+
+    @property
+    def alert_sink(self) -> AlertSink:
+        return self._alert_sink
+
+    @property
+    def last_canary(self) -> CanaryReport | None:
+        """The most recent post-publish canary verdict (None before
+        any canary completed)."""
+        return self._auditor.last_canary
 
     # ------------------------------------------------------------------
     # Scheduling controls / lifecycle

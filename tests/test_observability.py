@@ -547,3 +547,86 @@ def test_concurrent_submits_keep_snapshots_consistent():
     assert final["scheduler"]["submitted"] == total
     stage_hist = rt.telemetry().registry.get("serving_stage_seconds")
     assert stage_hist.labels(stage="selection").count >= 1
+
+
+# ----------------------------------------------------------------------
+# Incremental event consumption / percentile edge cases (PR 9)
+# ----------------------------------------------------------------------
+def test_event_log_incremental_consumption_with_since_seq():
+    log = EventLog(capacity=4)
+    assert log.last_seq == 0 and log.snapshot(since_seq=0) == []
+    for index in range(3):
+        log.record("shed", index=index)
+    assert log.last_seq == 3
+    first = log.snapshot(since_seq=0)
+    assert [event["seq"] for event in first] == [1, 2, 3]
+    cursor = first[-1]["seq"]
+    # nothing new yet: the cursor-filtered tail is empty
+    assert log.snapshot(since_seq=cursor) == []
+    # ring overwrite: 5 more events on capacity 4 drop seq 1-4 entirely
+    for index in range(5):
+        log.record("degraded", index=index)
+    tail = log.snapshot(since_seq=cursor)
+    assert [event["seq"] for event in tail] == [5, 6, 7, 8]
+    # what rolled off unseen (seq 4) is visible only as dropped count
+    assert log.stats()["dropped"] == 4
+    # since_seq composes with kind and limit filters
+    assert [e["seq"] for e in log.snapshot(kind="degraded", since_seq=6)] == [7, 8]
+    assert [e["seq"] for e in log.snapshot(since_seq=cursor, limit=2)] == [7, 8]
+
+
+def test_metrics_reporter_emits_only_new_events():
+    clock = ManualClock()
+    telemetry = RuntimeTelemetry(clock=clock)
+    reporter = MetricsReporter(telemetry, interval=1.0, workers=0, clock=clock)
+    telemetry.event_log.record("publish", version=1)
+    telemetry.event_log.record("shed")
+    first = reporter.emit_now()
+    assert [event["kind"] for event in first["new_events"]] == ["publish", "shed"]
+    # no new events between emissions: the tail is empty, not repeated
+    second = reporter.emit_now()
+    assert second["new_events"] == []
+    telemetry.event_log.record("drift", metric="ilad")
+    third = reporter.emit_now()
+    assert [event["kind"] for event in third["new_events"]] == ["drift"]
+    reporter.close()
+
+
+def test_histogram_percentile_accuracy_against_exact():
+    """Dense log buckets: every estimate within one bucket's width of
+    the exact order-statistic percentile, across the distribution."""
+    rng = np.random.default_rng(17)
+    samples = np.exp(rng.normal(loc=-4.0, scale=0.8, size=2000)).tolist()
+    bounds = log_buckets(1e-4, 10.0, per_decade=16)
+    hist = Histogram("latency_seconds", buckets=bounds)
+    for sample in samples:
+        hist.observe(sample)
+    labels = ("p50", "p90", "p99")
+    exact = latency_percentiles(samples, (50.0, 90.0, 99.0))
+    ratio = 10.0 ** (1.0 / 16)  # adjacent log-bucket spacing
+    for label, percentile in zip(labels, (50.0, 90.0, 99.0)):
+        estimate = hist.percentile(percentile)
+        # interpolation inside the winning bucket: the estimate sits
+        # within one bucket's width of the exact order statistic
+        assert abs(estimate - exact[label]) <= exact[label] * (ratio - 1.0)
+
+
+def test_histogram_percentile_empty_and_single_bucket():
+    # empty histogram: percentile is 0.0 by convention, where the exact
+    # helper refuses (no samples to rank)
+    hist = Histogram("empty_seconds", buckets=[0.1, 1.0])
+    assert hist.count == 0
+    assert hist.percentile(50.0) == 0.0
+    assert hist.percentile(99.0) == 0.0
+    with pytest.raises(ValueError, match="at least one"):
+        latency_percentiles([])
+    # single finite bucket: estimates interpolate inside [0, bound];
+    # overflow observations clamp to the largest finite bound (there is
+    # no upper edge to interpolate toward)
+    single = Histogram("single_seconds", buckets=[1.0])
+    single.observe(0.2)
+    assert single.percentile(50.0) == pytest.approx(0.5)  # halfway through [0, 1]
+    assert single.percentile(100.0) == pytest.approx(1.0)
+    single.observe(25.0)  # lands in the +Inf overflow bucket
+    assert single.percentile(99.0) == pytest.approx(1.0)
+    assert single.count == 2

@@ -49,6 +49,17 @@ SERVING_API = {
     "Trace",
     "EventLog",
     "TELEMETRY_SCHEMA_VERSION",
+    "ResponseAuditor",
+    "CanaryReport",
+    "SLO",
+    "SLOTracker",
+    "HealthStatus",
+    "AlertSink",
+    "DriftDetector",
+    "WindowedStat",
+    "HEALTHY",
+    "DEGRADED",
+    "UNHEALTHY",
 }
 
 RETRIEVAL_API = {
@@ -126,4 +137,12 @@ def test_request_and_response_shapes():
         "fault_plan",
         "trace_rate",
         "event_log_capacity",
+        "audit_rate",
+        "audit_window",
+        "canary_min_audits",
+        "canary_tolerance",
+        "drift_window",
+        "drift_threshold",
+        "slos",
+        "alert_sink",
     }

@@ -1,0 +1,331 @@
+"""Bench-regression sentinel: headline metrics, history, and a gate.
+
+Every committed ``BENCH_*.json`` baseline carries a handful of
+*headline* metrics — the numbers that page a human when they move
+(speedups, overhead ratios, recall, coverage).  This tool maintains
+``BENCH_HISTORY.jsonl``, one machine-fingerprinted JSON line per
+recorded bench run, and gates changes against it:
+
+* ``--record`` — extract the headline metrics from every
+  ``BENCH_*.json`` in the bench dir and append one history line per
+  bench (fingerprint: python / platform / machine / cpu count).
+* ``--check`` — compare each bench's current headlines against the
+  most recent history line with the **same fingerprint** and exit
+  nonzero when any metric regressed past its noise tolerance.  Benches
+  with no same-machine baseline are skipped (cross-machine numbers are
+  not comparable — a laptop's speedup is not a CI runner's), so the
+  gate only ever fires on like-for-like regressions.
+
+Noise-aware thresholds: each headline declares a direction (higher- or
+lower-is-better) and a relative tolerance sized to its observed
+run-to-run jitter — 10% for closed-loop throughput ratios, up to 50%
+for saturation-dependent tail ratios.  A current value worse than
+``baseline × (1 ∓ tolerance)`` is a regression; a headline that
+*disappears* from a bench file is always a regression (a silently
+dropped metric is the failure mode this gate exists for).
+
+Entry points:
+
+* ``python benchmarks/bench_history.py --check`` — the CI gate.
+* ``python benchmarks/bench_history.py --record`` — append baselines
+  after regenerating ``BENCH_*.json`` on a quiet machine.
+* ``pytest benchmarks/bench_history.py`` — the committed baselines
+  pass their own gate, and a synthetically degraded copy fails it.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+HISTORY_NAME = "BENCH_HISTORY.jsonl"
+
+#: bench name → list of (dotted json path, direction, relative tolerance).
+#: Direction "higher": regression when current < baseline * (1 - tol);
+#: "lower": regression when current > baseline * (1 + tol).  Tolerances
+#: are sized to each metric's observed run-to-run noise, not its
+#: importance — a 5% throughput drop is real, an 11× vs 9× p99 ratio
+#: under saturation is weather.
+HEADLINES: dict[str, list[tuple[str, str, float]]] = {
+    "batched_lkp": [
+        ("batch_sizes.128.speedup", "higher", 0.30),
+    ],
+    "health": [
+        ("overhead.throughput_ratio", "higher", 0.10),
+        ("canary.corrupted.regression_events", "higher", 0.0),
+    ],
+    "observability": [
+        ("overhead.throughput_ratio", "higher", 0.10),
+        ("coverage.min_coverage", "higher", 0.05),
+    ],
+    "overload": [
+        ("overload.p99_ratio_off_over_on", "higher", 0.50),
+        ("overload.ladder_on.unhandled", "lower", 0.0),
+    ],
+    "retrieval": [
+        ("funnel_timing.200000.speedup", "higher", 0.40),
+        ("recall_and_ndcg.quantile.recall_at_funnel", "higher", 0.02),
+        ("funnel_cache.speedup", "higher", 0.40),
+    ],
+    "runtime": [
+        ("admission.speedup", "higher", 0.30),
+        ("retrieval_admission.speedup", "higher", 0.30),
+        ("sharded_vs_monolithic.speedup", "higher", 0.40),
+    ],
+    "serving": [
+        ("sizes.10000.speedup_build_sample", "higher", 0.60),
+    ],
+    "serving_engine": [
+        ("batches.64.sample.speedup", "higher", 0.30),
+        ("batches.64.map.speedup", "higher", 0.30),
+    ],
+    "session": [
+        ("session_throughput.conditioning_overhead", "lower", 0.30),
+        ("alpha_sweep.0.25.ndcg", "higher", 0.02),
+    ],
+    "profiling": [
+        ("overhead.throughput_ratio", "higher", 0.10),
+        ("attribution.attribution_coverage", "higher", 0.05),
+        ("knee.relative_error", "lower", 1.0),
+    ],
+}
+
+
+def fingerprint() -> dict:
+    """The machine identity history lines are keyed by: results are
+    only comparable between runs on the same interpreter + hardware."""
+    return {
+        "python": platform.python_version(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _lookup(blob: dict, dotted: str):
+    """Resolve ``a.b.c`` in nested dicts; None when any hop is absent.
+
+    Greedy-longest key match at each hop, because bench files key
+    sections by floats (``window_sweep."0.001"``) whose dots collide
+    with the path separator.
+    """
+    node = blob
+    parts = dotted.split(".")
+    index = 0
+    while index < len(parts):
+        if not isinstance(node, dict):
+            return None
+        found = None
+        for take in range(len(parts) - index, 0, -1):
+            candidate = ".".join(parts[index : index + take])
+            if candidate in node:
+                found = candidate
+                node = node[candidate]
+                index += take
+                break
+        if found is None:
+            return None
+    return node if isinstance(node, (int, float)) else None
+
+
+def bench_name(path: Path) -> str:
+    return path.stem.removeprefix("BENCH_")
+
+
+def load_headlines(bench_dir: Path) -> dict[str, dict[str, float]]:
+    """bench name → {dotted path: value} for every known BENCH file."""
+    out: dict[str, dict[str, float]] = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        name = bench_name(path)
+        spec = HEADLINES.get(name)
+        if spec is None:
+            continue
+        blob = json.loads(path.read_text())
+        values = {}
+        for dotted, _direction, _tol in spec:
+            value = _lookup(blob, dotted)
+            if value is not None:
+                values[dotted] = float(value)
+        out[name] = values
+    return out
+
+
+# ----------------------------------------------------------------------
+# Record
+# ----------------------------------------------------------------------
+def record(bench_dir: Path, history_path: Path) -> int:
+    """Append one fingerprinted history line per bench; returns count."""
+    stamp = {"recorded_unix": round(time.time(), 1), "fingerprint": fingerprint()}
+    lines = []
+    for name, values in load_headlines(bench_dir).items():
+        if values:
+            lines.append(json.dumps({"bench": name, **stamp, "headlines": values}))
+    if lines:
+        with history_path.open("a") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+    return len(lines)
+
+
+def read_history(history_path: Path) -> list[dict]:
+    if not history_path.exists():
+        return []
+    entries = []
+    for line in history_path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Check
+# ----------------------------------------------------------------------
+def check(bench_dir: Path, history_path: Path) -> tuple[list[str], list[str]]:
+    """(regressions, notes): regressions nonempty → the gate fails."""
+    current = load_headlines(bench_dir)
+    history = read_history(history_path)
+    own = fingerprint()
+    regressions: list[str] = []
+    notes: list[str] = []
+    for name, values in current.items():
+        baselines = [
+            entry
+            for entry in history
+            if entry.get("bench") == name and entry.get("fingerprint") == own
+        ]
+        if not baselines:
+            notes.append(f"{name}: no same-machine baseline, skipped")
+            continue
+        baseline = baselines[-1]["headlines"]
+        for dotted, direction, tol in HEADLINES[name]:
+            base = baseline.get(dotted)
+            if base is None:
+                continue  # metric was never recorded for this machine
+            now = values.get(dotted)
+            if now is None:
+                regressions.append(
+                    f"{name}: headline {dotted} disappeared "
+                    f"(baseline {base:g})"
+                )
+                continue
+            if direction == "higher":
+                floor = base * (1.0 - tol)
+                if now < floor:
+                    regressions.append(
+                        f"{name}: {dotted} regressed {base:g} → {now:g} "
+                        f"(floor {floor:g}, tol {tol:.0%})"
+                    )
+            else:
+                ceiling = base * (1.0 + tol)
+                if now > ceiling:
+                    regressions.append(
+                        f"{name}: {dotted} regressed {base:g} → {now:g} "
+                        f"(ceiling {ceiling:g}, tol {tol:.0%})"
+                    )
+    return regressions, notes
+
+
+# ----------------------------------------------------------------------
+# pytest targets: the sentinel guards itself
+# ----------------------------------------------------------------------
+def test_committed_baselines_pass_the_gate():
+    """The repo's own BENCH files must never trip the committed
+    history (same-machine lines compare equal; others are skipped)."""
+    regressions, _notes = check(REPO_ROOT, REPO_ROOT / HISTORY_NAME)
+    assert not regressions, f"committed baselines regressed: {regressions}"
+
+
+def test_synthetic_regression_fails_the_gate(tmp_path):
+    """Degrading one headline past tolerance must fail the check —
+    recorded and checked in a scratch dir so the real history is
+    untouched."""
+    source = REPO_ROOT / "BENCH_profiling.json"
+    blob = json.loads(source.read_text())
+    scratch = tmp_path / "BENCH_profiling.json"
+    scratch.write_text(json.dumps(blob))
+    history = tmp_path / HISTORY_NAME
+    assert record(tmp_path, history) == 1
+    regressions, _ = check(tmp_path, history)
+    assert not regressions, f"identical rerun must pass: {regressions}"
+
+    # throughput_ratio has 10% tolerance: a 50% drop is a regression
+    blob["overhead"]["throughput_ratio"] *= 0.5
+    scratch.write_text(json.dumps(blob))
+    regressions, _ = check(tmp_path, history)
+    assert any("throughput_ratio" in r for r in regressions), regressions
+
+    # and a disappeared headline is flagged even when values are fine
+    blob["overhead"]["throughput_ratio"] = None
+    scratch.write_text(json.dumps(blob))
+    regressions, _ = check(tmp_path, history)
+    assert any("disappeared" in r for r in regressions), regressions
+
+
+def test_cross_machine_baselines_are_skipped(tmp_path):
+    """History from another fingerprint must never gate this one."""
+    scratch = tmp_path / "BENCH_profiling.json"
+    blob = json.loads((REPO_ROOT / "BENCH_profiling.json").read_text())
+    blob["overhead"]["throughput_ratio"] = 0.01  # terrible — but foreign
+    scratch.write_text(json.dumps(blob))
+    history = tmp_path / HISTORY_NAME
+    foreign = {
+        "bench": "profiling",
+        "recorded_unix": 0,
+        "fingerprint": {"python": "0.0.0", "platform": "nowhere",
+                        "machine": "imaginary", "cpu_count": 0},
+        "headlines": {"overhead.throughput_ratio": 1.0},
+    }
+    history.write_text(json.dumps(foreign) + "\n")
+    regressions, notes = check(tmp_path, history)
+    assert not regressions, regressions
+    assert any("no same-machine baseline" in n for n in notes), notes
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--record", action="store_true",
+        help="append current headline metrics to the history",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate current BENCH files against the history (default)",
+    )
+    parser.add_argument(
+        "--bench-dir", type=Path, default=REPO_ROOT,
+        help="directory holding BENCH_*.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--history", type=Path, default=None,
+        help=f"history file (default: <bench-dir>/{HISTORY_NAME})",
+    )
+    args = parser.parse_args(argv)
+    history_path = args.history or args.bench_dir / HISTORY_NAME
+
+    status = 0
+    if args.record:
+        count = record(args.bench_dir, history_path)
+        print(f"recorded {count} bench baselines to {history_path}")
+    if args.check or not args.record:
+        regressions, notes = check(args.bench_dir, history_path)
+        for note in notes:
+            print(f"  note: {note}")
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION {line}")
+            status = 1
+        else:
+            print(f"bench gate clean ({history_path})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

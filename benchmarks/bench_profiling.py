@@ -1,0 +1,401 @@
+"""Profiling benchmark: sampler overhead, stage attribution, headroom.
+
+PR 10's introspection layer has three CI-guarded contracts:
+
+* **Overhead** — a closed-loop throughput run (submit a burst, wait for
+  every future, best of 3) at ``profile_hz=0`` (the default: no
+  registry, no sampler thread, bit-identical to PR 9) vs
+  ``profile_hz=100``.  Continuous profiling keeps at least **95% of the
+  unprofiled req/s**.
+* **Attribution** — after a profiled run, at least **80%** of the
+  samples that landed inside engine work carry a stage finer than the
+  coarse ``engine`` window (``dual_build`` / ``eigh`` / ``selection``
+  / …), so the per-stage self-time table actually explains where the
+  CPU went.
+* **Headroom** — the :class:`~repro.serving.profiling.CapacityModel`
+  saturation estimate (affine batch-cost fit over every engine batch)
+  lands within **±30%** of the measured closed-loop knee — the req/s a
+  saturating burst actually sustains on the same worker.
+
+Recorded per run: req/s at both rates, the overhead ratio, sampler tick
+and attribution counts, per-stage self seconds, the headroom report the
+knee was checked against, and the runtime footprint (tracked bytes /
+RSS) after the profiled run.
+
+Entry points:
+
+* ``pytest benchmarks/bench_profiling.py`` — the CI guards above.
+* ``python benchmarks/bench_profiling.py [--output ...]`` — the JSON
+  baseline writer behind ``BENCH_profiling.json``.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) to shrink the
+workload to import-and-run-path coverage.
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+if __package__ is None and __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.serving import (
+    ItemCatalog,
+    Request,
+    ServingConfig,
+    ServingRuntime,
+)
+
+PROFILE_HZ = 100.0
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def _settings():
+    if _smoke():
+        # Engine batches must dominate scheduler overhead even at smoke
+        # scale or the knee check measures the scheduler, not the model
+        # — hence more items/rank than the other smoke benches.
+        return dict(
+            num_items=6000, rank=24, k=8, num_users=16, max_batch=16,
+            burst=400, trials=7, coverage_hz=400.0, min_stage_samples=20,
+        )
+    return dict(
+        num_items=20_000, rank=32, k=10, num_users=64, max_batch=32,
+        burst=1000, trials=5, coverage_hz=200.0, min_stage_samples=50,
+    )
+
+
+def make_world(settings, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(settings["num_items"], settings["rank"]))
+    factors /= np.linalg.norm(factors, axis=1, keepdims=True)
+    quality = np.exp(
+        rng.normal(scale=0.5, size=(settings["num_users"], settings["num_items"]))
+    )
+    return factors, quality
+
+
+def _burst_requests(settings, quality, count: int) -> list[Request]:
+    return [
+        Request(
+            quality=quality[i % quality.shape[0]],
+            k=settings["k"],
+            mode="sample",
+            seed=i,
+        )
+        for i in range(count)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Closed-loop throughput at a given profile rate
+# ----------------------------------------------------------------------
+def _timed_burst(settings, factors, quality, profile_hz: float) -> dict:
+    """One fresh runtime, one warmed closed-loop burst; its wall time
+    plus (when profiling) the profiler / headroom / footprint stats."""
+    config = ServingConfig(
+        workers=1,
+        max_batch=settings["max_batch"],
+        max_wait=0.001,
+        profile_hz=profile_hz,
+    )
+    requests = _burst_requests(settings, quality, settings["burst"])
+    with ServingRuntime(ItemCatalog(factors), config=config) as runtime:
+        # Warm spectra / allocator outside the timed window.
+        runtime.serve_now(requests[: settings["max_batch"]])
+        begin = time.perf_counter()
+        futures = runtime.submit_many(requests)
+        for future in futures:
+            future.result()
+        elapsed = time.perf_counter() - begin
+        result = {
+            "profile_hz": profile_hz,
+            "seconds": elapsed,
+            "headroom": runtime.headroom().to_dict(),
+            "footprint_tracked_bytes": runtime.footprint().total_tracked_bytes,
+        }
+        if runtime.profiler is not None:
+            result["profiler"] = runtime.profiler.stats()
+    return result
+
+
+def run_profiled(settings, factors, quality, profile_hz: float) -> dict:
+    """Best-of-``trials`` closed-loop req/s over one long-lived runtime
+    (the capacity model accumulates every trial's batches)."""
+    config = ServingConfig(
+        workers=1,
+        max_batch=settings["max_batch"],
+        max_wait=0.001,
+        profile_hz=profile_hz,
+    )
+    requests = _burst_requests(settings, quality, settings["burst"])
+    with ServingRuntime(ItemCatalog(factors), config=config) as runtime:
+        runtime.serve_now(requests[: settings["max_batch"]])
+        best = float("inf")
+        for _ in range(settings["trials"]):
+            begin = time.perf_counter()
+            futures = runtime.submit_many(requests)
+            for future in futures:
+                future.result()
+            best = min(best, time.perf_counter() - begin)
+        result = {
+            "profile_hz": profile_hz,
+            "req_per_s": settings["burst"] / best,
+            "best_s": best,
+            "headroom": runtime.headroom().to_dict(),
+            "footprint_tracked_bytes": runtime.footprint().total_tracked_bytes,
+        }
+        if runtime.profiler is not None:
+            result["profiler"] = runtime.profiler.stats()
+    return result
+
+
+def run_overhead(settings, factors, quality) -> dict:
+    """Interleaved best-of-``trials`` comparison of profile_hz 0 vs
+    ``PROFILE_HZ``.
+
+    The legs alternate burst-by-burst (fresh runtime per burst) so
+    machine-level drift — CPU clocks, neighbors, thermal throttle —
+    hits both bursts of a pair near-identically; the guard metric is
+    the **median of the paired per-trial ratios**, which cancels
+    sustained rate shifts that a min-of-each-leg comparison (where one
+    leg may simply never get a fast window) cannot.  One throwaway
+    burst first absorbs process warmup (BLAS thread pools, allocator
+    arenas).
+    """
+    _timed_burst(settings, factors, quality, profile_hz=0.0)
+    baseline_s: list[float] = []
+    profiled_s: list[float] = []
+    profiled_last: dict = {}
+    for _ in range(settings["trials"]):
+        baseline_s.append(
+            _timed_burst(settings, factors, quality, profile_hz=0.0)["seconds"]
+        )
+        profiled_last = _timed_burst(
+            settings, factors, quality, profile_hz=PROFILE_HZ
+        )
+        profiled_s.append(profiled_last["seconds"])
+    burst = settings["burst"]
+    paired = sorted(
+        base / prof for base, prof in zip(baseline_s, profiled_s)
+    )
+    return {
+        "baseline": {"req_per_s": burst / min(baseline_s), "trial_s": baseline_s},
+        "profiled": {
+            "req_per_s": burst / min(profiled_s),
+            "trial_s": profiled_s,
+            "profiler": profiled_last["profiler"],
+            "footprint_tracked_bytes": profiled_last[
+                "footprint_tracked_bytes"
+            ],
+        },
+        "throughput_ratio": paired[len(paired) // 2],
+    }
+
+
+# ----------------------------------------------------------------------
+# Stage attribution at a higher sampling rate
+# ----------------------------------------------------------------------
+def run_attribution(settings, factors, quality) -> dict:
+    """A profiled saturating run at ``coverage_hz`` — high enough that
+    even the smoke workload accumulates a meaningful sample count."""
+    profiled = run_profiled(
+        settings, factors, quality, profile_hz=settings["coverage_hz"]
+    )
+    stats = profiled["profiler"]
+    return {
+        "hz": settings["coverage_hz"],
+        "ticks": stats["ticks"],
+        "stage_samples": stats["stage_samples"],
+        "attributed_samples": stats["attributed_samples"],
+        "attribution_coverage": stats["attribution_coverage"],
+        "stage_self_s": stats["stage_self_seconds"],
+        "sampler_overhead_s": stats["sampler_overhead_s"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Capacity model vs measured closed-loop knee
+# ----------------------------------------------------------------------
+def run_knee(settings, factors, quality) -> dict:
+    """The unprofiled saturating burst IS the knee — one worker, queue
+    never empty — so its wall req/s is the ground truth the capacity
+    model's saturation estimate must land within ±30% of."""
+    baseline = run_profiled(settings, factors, quality, profile_hz=0.0)
+    measured = baseline["req_per_s"]
+    predicted = baseline["headroom"]["saturation_req_per_s"]
+    return {
+        "measured_knee_req_per_s": measured,
+        "predicted_saturation_req_per_s": predicted,
+        "relative_error": abs(predicted - measured) / measured,
+        "batch_cost_fit": baseline["headroom"]["batch_cost_fit"],
+        "request_weighted_batch": baseline["headroom"]["request_weighted_batch"],
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest targets: the CI guards
+# ----------------------------------------------------------------------
+def test_profiler_overhead_stays_under_five_percent():
+    """CI guard: profile_hz=100 keeps ≥95% of unprofiled throughput.
+
+    Sequential test: the paired-median ratio is itself noisy at ±2–3%
+    on busy single-core hosts (every sampler tick preempts the engine
+    on the same core), so a miss earns up to two more measurement
+    rounds.  A genuine >5% regression sits below the threshold in
+    every round; a borderline-true ratio near 0.97 clears almost
+    surely.
+    """
+    settings = _settings()
+    factors, quality = make_world(settings)
+    ratios = []
+    overhead = {}
+    for _ in range(3):
+        overhead = run_overhead(settings, factors, quality)
+        ratios.append(overhead["throughput_ratio"])
+        if overhead["throughput_ratio"] >= 0.95:
+            break
+    assert max(ratios) >= 0.95, (
+        f"profiling overhead exceeded 5% in every round: "
+        f"{overhead['baseline']['req_per_s']:.0f} req/s unprofiled vs "
+        f"{overhead['profiled']['req_per_s']:.0f} profiled "
+        f"(paired-median ratios {[round(r, 3) for r in ratios]})"
+    )
+    # the sampler actually ran during the profiled window
+    assert overhead["profiled"]["profiler"]["ticks"] > 0
+
+
+def test_stage_attribution_covers_engine_samples():
+    """CI guard: ≥80% of in-engine samples name a fine stage."""
+    settings = _settings()
+    factors, quality = make_world(settings)
+    attribution = run_attribution(settings, factors, quality)
+    assert attribution["stage_samples"] >= settings["min_stage_samples"], (
+        f"too few in-stage samples to judge attribution: {attribution}"
+    )
+    assert attribution["attribution_coverage"] >= 0.80, (
+        f"stage attribution below 80%: {attribution}"
+    )
+    # the self-time table names real engine stages, not just the marker
+    fine = set(attribution["stage_self_s"]) - {"engine"}
+    assert fine, f"no fine-grained stages recorded: {attribution}"
+
+
+def test_capacity_model_matches_closed_loop_knee():
+    """CI guard: predicted saturation within ±30% of the measured knee."""
+    settings = _settings()
+    factors, quality = make_world(settings)
+    knee = run_knee(settings, factors, quality)
+    assert knee["relative_error"] <= 0.30, (
+        f"capacity model missed the knee by "
+        f"{knee['relative_error']:.1%}: {knee}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Standalone baseline writer
+# ----------------------------------------------------------------------
+def main(argv=None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON baseline here (default: print only)",
+    )
+    args = parser.parse_args(argv)
+    settings = _settings()
+    factors, quality = make_world(settings)
+
+    results = {
+        "workload": (
+            "performance introspection: sampling-profiler overhead "
+            f"(profile_hz 0 vs {PROFILE_HZ:.0f}), stage attribution "
+            "coverage, and capacity-model saturation vs the measured "
+            "closed-loop knee"
+        ),
+        "settings": dict(settings),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+    print(f"== profiler overhead (burst={settings['burst']}, best of "
+          f"{settings['trials']}) ==")
+    overhead = run_overhead(settings, factors, quality)
+    profiled_stats = overhead["profiled"]["profiler"]
+    results["overhead"] = {
+        "baseline_req_per_s": round(overhead["baseline"]["req_per_s"], 1),
+        "profiled_req_per_s": round(overhead["profiled"]["req_per_s"], 1),
+        "throughput_ratio": round(overhead["throughput_ratio"], 4),
+        "profile_hz": PROFILE_HZ,
+        "ticks": profiled_stats["ticks"],
+        "sampler_overhead_ms": round(
+            profiled_stats["sampler_overhead_s"] * 1e3, 3
+        ),
+        "footprint_tracked_bytes": overhead["profiled"][
+            "footprint_tracked_bytes"
+        ],
+    }
+    print(
+        f" unprofiled: {overhead['baseline']['req_per_s']:>8.0f} req/s\n"
+        f"   profiled: {overhead['profiled']['req_per_s']:>8.0f} req/s "
+        f"(ratio {overhead['throughput_ratio']:.3f}, "
+        f"{profiled_stats['ticks']} ticks)"
+    )
+
+    print(f"\n== stage attribution (hz={settings['coverage_hz']:.0f}) ==")
+    attribution = run_attribution(settings, factors, quality)
+    results["attribution"] = {
+        "hz": attribution["hz"],
+        "stage_samples": attribution["stage_samples"],
+        "attributed_samples": attribution["attributed_samples"],
+        "attribution_coverage": round(attribution["attribution_coverage"], 4),
+        "stage_self_ms": {
+            stage: round(seconds * 1e3, 1)
+            for stage, seconds in sorted(attribution["stage_self_s"].items())
+        },
+    }
+    print(
+        f"   {attribution['attributed_samples']}/"
+        f"{attribution['stage_samples']} samples attributed "
+        f"({attribution['attribution_coverage']:.3f})"
+    )
+    for stage, milliseconds in results["attribution"]["stage_self_ms"].items():
+        print(f"{stage:>12}: {milliseconds:>8.1f} ms self")
+
+    print("\n== capacity model vs closed-loop knee ==")
+    knee = run_knee(settings, factors, quality)
+    results["knee"] = {
+        "measured_knee_req_per_s": round(knee["measured_knee_req_per_s"], 1),
+        "predicted_saturation_req_per_s": round(
+            knee["predicted_saturation_req_per_s"], 1
+        ),
+        "relative_error": round(knee["relative_error"], 4),
+        "fixed_ms": round(knee["batch_cost_fit"]["fixed_s"] * 1e3, 3),
+        "per_request_ms": round(
+            knee["batch_cost_fit"]["per_request_s"] * 1e3, 3
+        ),
+        "request_weighted_batch": round(knee["request_weighted_batch"], 2),
+    }
+    print(
+        f"   measured {knee['measured_knee_req_per_s']:>8.0f} req/s vs "
+        f"predicted {knee['predicted_saturation_req_per_s']:>8.0f} req/s "
+        f"(error {knee['relative_error']:.1%})"
+    )
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nbaseline written to {args.output}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -215,6 +215,29 @@ class FunnelCache:
             "invalidations": self.invalidations,
         }
 
+    def footprint(self) -> dict:
+        """Byte accounting of the retained pools, per catalog version.
+
+        The footprint report (:mod:`repro.serving.profiling`) reads this
+        to surface generation-pinning: pool bytes still attributed to a
+        displaced version after a publish mean :meth:`invalidate` never
+        ran (or in-flight traffic re-populated the old generation).
+        """
+        by_version: dict[str, int] = {}
+        total = 0
+        with self._lock:
+            entries = len(self._entries)
+            for key, (_probe, pool) in self._entries.items():
+                nbytes = int(pool.nbytes)
+                total += nbytes
+                label = str(key[1])
+                by_version[label] = by_version.get(label, 0) + nbytes
+        return {
+            "entries": entries,
+            "bytes": total,
+            "by_version": by_version,
+        }
+
     def reset_stats(self) -> None:
         """Zero the hit/miss/invalidation counters (entries stay cached)."""
         self._hits.reset()

@@ -73,6 +73,21 @@ fast/slow burn-rate evaluation (:class:`SLOTracker`), the
 :class:`AlertSink` callback channel, and
 :meth:`~repro.serving.runtime.ServingRuntime.health` returning a
 :class:`HealthStatus` verdict.
+
+Performance introspection (PR 10) lives in
+:mod:`repro.serving.profiling` over zero-dependency primitives in
+:mod:`repro.utils.profiling`: a continuous sampling profiler
+(``ServingConfig.profile_hz`` → :class:`SamplingProfiler` folding
+``sys._current_frames()`` samples into a bounded :class:`StackProfile`,
+stage-attributed through the :class:`StageRegistry` the stage-span
+machinery updates), per-version memory accounting
+(:meth:`~repro.serving.runtime.ServingRuntime.footprint` →
+:class:`FootprintReport`), the :class:`CapacityModel` behind
+:meth:`~repro.serving.runtime.ServingRuntime.headroom`
+(:class:`HeadroomReport` — utilization and predicted saturation from
+the affine batch-cost fit), and the opt-in :func:`attach_logging`
+bridge replaying the event log as structured stdlib ``logging``
+records.
 """
 
 from .bridge import RecommenderBridge, quality_from_scores
@@ -97,12 +112,22 @@ from .observability import (
     EventLog,
     Gauge,
     Histogram,
+    LoggingBridge,
     MetricsRegistry,
     MetricsReporter,
     RuntimeTelemetry,
     Span,
     StageRecorder,
     Trace,
+    attach_logging,
+)
+from .profiling import (
+    CapacityModel,
+    FootprintReport,
+    HeadroomReport,
+    SamplingProfiler,
+    StackProfile,
+    StageRegistry,
 )
 from .resilience import (
     DEGRADATION_LADDER,
@@ -170,4 +195,12 @@ __all__ = [
     "HEALTHY",
     "DEGRADED",
     "UNHEALTHY",
+    "LoggingBridge",
+    "attach_logging",
+    "StageRegistry",
+    "StackProfile",
+    "SamplingProfiler",
+    "FootprintReport",
+    "CapacityModel",
+    "HeadroomReport",
 ]

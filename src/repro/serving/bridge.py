@@ -362,3 +362,18 @@ class RecommenderBridge:
                         while len(self._cache) > self.cache_size:
                             self._cache.popitem(last=False)
         return responses  # type: ignore[return-value]
+
+    def cache_footprint(self) -> dict:
+        """Byte accounting of the response LRU (best effort — slate
+        lists and any attached traces, via
+        :func:`repro.serving.profiling.nbytes_of`), for the footprint
+        report's cache section."""
+        from .profiling import nbytes_of
+
+        with self._cache_lock:
+            entries = list(self._cache.values())
+        return {
+            "entries": len(entries),
+            "capacity": self.cache_size,
+            "bytes": sum(nbytes_of(response) for response in entries),
+        }

@@ -105,6 +105,15 @@ class ServingConfig:
         reference-vs-current windows of ``drift_window`` samples, a
         mean shift beyond ``drift_threshold`` pooled standard errors
         (with a relative floor) emits a ``drift`` event.
+    profile_hz:
+        Continuous sampling profiler (:mod:`repro.serving.profiling`).
+        The background sampling rate, in stack samples per second, of
+        the runtime's :class:`~repro.utils.profiling.SamplingProfiler`;
+        sampled stacks are attributed to the active engine stage via
+        the thread→stage registry the ``stage_span`` machinery updates.
+        The default ``0.0`` starts no sampler thread and keeps the
+        serving path bit-identical, seeded samples included — the same
+        parity contract as ``trace_rate`` / ``audit_rate``.
     slos:
         Declarative :class:`~repro.serving.health.SLO` objectives the
         runtime's :class:`~repro.serving.health.SLOTracker` evaluates
@@ -138,6 +147,7 @@ class ServingConfig:
     canary_tolerance: float = 0.1
     drift_window: int = 128
     drift_threshold: float = 3.0
+    profile_hz: float = 0.0
     slos: Any | None = None
     alert_sink: Callable[[dict], None] | None = None
 
@@ -210,6 +220,10 @@ class ServingConfig:
         if self.drift_threshold <= 0:
             raise ValueError(
                 f"drift_threshold must be positive, got {self.drift_threshold}"
+            )
+        if self.profile_hz < 0:
+            raise ValueError(
+                f"profile_hz must be non-negative, got {self.profile_hz}"
             )
         if self.slos is not None:
             from .health import SLO

@@ -43,6 +43,9 @@ calls in the batcher's ``workers=0`` deterministic mode.
 
 from __future__ import annotations
 
+import logging
+import os
+import platform
 import threading
 import time
 from contextlib import contextmanager, nullcontext
@@ -63,13 +66,49 @@ __all__ = [
     "EventLog",
     "RuntimeTelemetry",
     "MetricsReporter",
+    "LoggingBridge",
+    "attach_logging",
+    "telemetry_meta",
     "TELEMETRY_SCHEMA_VERSION",
 ]
 
 #: bump when the RuntimeTelemetry.snapshot() key layout changes
 #: (2: product-health sections — top-level ``health`` / ``audit`` keys,
-#: ``new_events`` tails on MetricsReporter-emitted snapshots)
-TELEMETRY_SCHEMA_VERSION = 2
+#: ``new_events`` tails on MetricsReporter-emitted snapshots;
+#: 3: the host-identifying ``meta`` section, plus the performance-
+#: introspection providers — ``footprint`` / ``headroom`` always,
+#: ``profile`` when ``ServingConfig.profile_hz > 0``)
+TELEMETRY_SCHEMA_VERSION = 3
+
+
+def telemetry_meta() -> dict:
+    """The host/interpreter identity block snapshots carry (schema v3).
+
+    Benchmarks always recorded python/numpy versions; runtime snapshots
+    did not, which made archived snapshots from different hosts
+    ambiguous.  Computed once per process (the values cannot change).
+    """
+    global _TELEMETRY_META
+    if _TELEMETRY_META is None:
+        try:
+            import numpy
+
+            numpy_version = numpy.__version__
+        except ImportError:  # pragma: no cover - numpy is a hard dep here
+            numpy_version = None
+        _TELEMETRY_META = {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "python": platform.python_version(),
+            "numpy": numpy_version,
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "pid": os.getpid(),
+        }
+    return dict(_TELEMETRY_META)
+
+
+_TELEMETRY_META: dict | None = None
 
 
 class Span:
@@ -209,21 +248,39 @@ class StageRecorder:
     keeps instrumentation off the untraced fast path entirely.  Every
     member of the batch waited on every phase, so :meth:`extend_trace`
     attaches the full recorded list to each traced member.
+
+    When the runtime profiles (``ServingConfig.profile_hz > 0``) a
+    :class:`~repro.utils.profiling.StageRegistry` rides along: every
+    stage entry/exit additionally pushes/pops the serving thread's
+    current stage, which is how the sampling profiler attributes its
+    stack samples — the recorder *is* the thread→stage publisher, no
+    second instrumentation point exists.
     """
 
-    __slots__ = ("_clock", "spans")
+    __slots__ = ("_clock", "spans", "registry")
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        registry=None,
+    ) -> None:
         self._clock = clock
+        self.registry = registry
         self.spans: list[tuple[str, float, float, bool]] = []
 
     @contextmanager
     def stage(self, name: str, nested: bool = False):
+        registry = self.registry
+        if registry is not None:
+            registry.push(name)
         start = self._clock()
         try:
             yield self
         finally:
-            self.spans.append((name, start, self._clock(), nested))
+            end = self._clock()
+            if registry is not None:
+                registry.pop()
+            self.spans.append((name, start, end, nested))
 
     def extend_trace(self, trace: Trace, nested: bool | None = None) -> None:
         """Attach every recorded span; ``nested=True`` forces all of
@@ -375,6 +432,7 @@ class RuntimeTelemetry:
         """The one merged, versioned view of the runtime right now."""
         out: dict[str, Any] = {
             "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "meta": telemetry_meta(),
             "uptime_s": self.uptime,
             "requests_per_second": self.requests_per_second(),
             "metrics": self.registry.snapshot(),
@@ -422,6 +480,14 @@ class MetricsReporter:
     manual-clock discipline as ``MicroBatcher(workers=0)``.  Emitted
     snapshots go to the ``emit`` callback (when given) and are retained
     in ``reports`` (a bounded deque) either way.
+
+    A sink (``emit`` callback) that raises never kills the reporter:
+    the exception is swallowed and counted in ``reporter_errors_total``
+    on the telemetry registry, and the snapshot still lands in
+    ``reports`` — a flaky exporter degrades shipping, not observing.
+    The interval thread additionally survives a *provider* that raises
+    mid-snapshot (counted the same way); in manual :meth:`tick` mode
+    provider errors propagate to the driving test instead.
     """
 
     def __init__(
@@ -444,6 +510,10 @@ class MetricsReporter:
         self._clock = clock if clock is not None else telemetry._clock
         self._emit = emit
         self.reports: deque[dict] = deque(maxlen=keep)
+        self._errors = telemetry.registry.counter(
+            "reporter_errors_total",
+            "snapshot emissions that raised (sink or provider) and were swallowed",
+        )
         self._last = self._clock()
         self._event_cursor = 0
         self._closed = threading.Event()
@@ -456,7 +526,13 @@ class MetricsReporter:
 
     def _loop(self) -> None:
         while not self._closed.wait(self.interval):
-            self.emit_now()
+            try:
+                self.emit_now()
+            except Exception:
+                # A provider raising mid-snapshot must not kill the
+                # interval thread; sink errors are already absorbed
+                # (and counted) inside emit_now.
+                self._errors.inc()
 
     def tick(self) -> dict | None:
         """Manual mode: emit if an interval elapsed on the injected
@@ -479,7 +555,12 @@ class MetricsReporter:
         self.reports.append(snapshot)
         self._last = self._clock()
         if self._emit is not None:
-            self._emit(snapshot)
+            try:
+                self._emit(snapshot)
+            except Exception:
+                # Poison sink: swallow and count — the retained report
+                # and the next interval are unaffected.
+                self._errors.inc()
         return snapshot
 
     def close(self) -> None:
@@ -493,3 +574,108 @@ class MetricsReporter:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# Structured stdlib-logging bridge over the event log
+# ----------------------------------------------------------------------
+#: event kind → stdlib logging level for LoggingBridge replays
+_EVENT_LOG_LEVELS = {
+    "degraded": logging.WARNING,
+    "shed": logging.WARNING,
+    "deadline_exceeded": logging.WARNING,
+    "breaker": logging.WARNING,
+    "publish": logging.INFO,
+    "publish_retry": logging.WARNING,
+    "canary": logging.INFO,
+    "canary_skipped": logging.INFO,
+    "canary_regression": logging.ERROR,
+    "drift": logging.WARNING,
+    "slo_burn": logging.ERROR,
+    "slo_recovered": logging.INFO,
+}
+
+
+class LoggingBridge:
+    """Replays :class:`EventLog` entries as structured stdlib records.
+
+    Opt-in (the serving stack itself never touches ``logging`` — hot
+    paths must not pay handler locks): call :meth:`pump` whenever log
+    shipping should catch up — from a :class:`MetricsReporter` emit
+    callback, a request hook, or a test.  The ``since_seq`` cursor
+    makes pumping incremental and loss-aware: each event is emitted
+    exactly once, and events overwritten in the ring buffer before a
+    pump surface in the event log's ``dropped`` stat, never as silent
+    gaps.
+
+    Each record carries the event's fields as ``extra`` attributes
+    (prefixed ``serving_`` to dodge :class:`logging.LogRecord`'s
+    reserved names) plus the correlation fields formatters key on:
+    ``serving_event`` (the kind), ``serving_seq``, ``serving_time``
+    (injected-clock timestamp) and — when the event names one —
+    ``serving_version`` / ``serving_trace``.
+    """
+
+    def __init__(
+        self,
+        event_log: EventLog,
+        logger: logging.Logger,
+        level_map: dict[str, int] | None = None,
+        default_level: int = logging.INFO,
+    ) -> None:
+        self.event_log = event_log
+        self.logger = logger
+        self._levels = dict(_EVENT_LOG_LEVELS)
+        if level_map:
+            self._levels.update(level_map)
+        self._default_level = int(default_level)
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    def pump(self) -> int:
+        """Emit every event recorded since the last pump; returns how
+        many records were emitted."""
+        with self._lock:
+            events = self.event_log.snapshot(since_seq=self._cursor)
+            if events:
+                self._cursor = events[-1]["seq"]
+        for event in events:
+            kind = event["kind"]
+            extra = {
+                f"serving_{name}": value
+                for name, value in event.items()
+                if name != "kind"
+            }
+            extra["serving_event"] = kind
+            detail = ", ".join(
+                f"{name}={event[name]!r}"
+                for name in sorted(event)
+                if name not in ("kind", "seq", "time")
+            )
+            self.logger.log(
+                self._levels.get(kind, self._default_level),
+                "serving event %s%s",
+                kind,
+                f" ({detail})" if detail else "",
+                extra=extra,
+            )
+        return len(events)
+
+
+def attach_logging(
+    runtime,
+    logger: logging.Logger | str | None = None,
+    level_map: dict[str, int] | None = None,
+) -> LoggingBridge:
+    """Wire a :class:`LoggingBridge` onto ``runtime``'s event log.
+
+    ``logger`` accepts a :class:`logging.Logger`, a logger name, or
+    ``None`` for the ``"repro.serving"`` logger.  Returns the bridge;
+    drive it with ``bridge.pump()`` (e.g. as a ``MetricsReporter`` emit
+    callback: ``MetricsReporter(..., emit=lambda _s: bridge.pump())``).
+    """
+    if logger is None or isinstance(logger, str):
+        logger = logging.getLogger(logger or "repro.serving")
+    return LoggingBridge(
+        runtime.telemetry().event_log, logger, level_map=level_map
+    )

@@ -296,11 +296,20 @@ class ResilientServer:
         fault_plan: "FaultPlan | None" = None,
         registry: MetricsRegistry | None = None,
         event_log: EventLog | None = None,
+        stage_registry=None,
+        capacity_model=None,
     ) -> None:
         self.server = server
         self._clock = clock if clock is not None else time.monotonic
         self.cost_model = cost_model if cost_model is not None else ModeCostModel()
         self.fault_plan = fault_plan
+        # Performance introspection (PR 10), both optional: a
+        # thread→stage registry makes every dispatched batch carry a
+        # StageRecorder (so the sampling profiler can attribute stacks
+        # even when no member is traced), and a CapacityModel receives
+        # every engine batch's (size, seconds, mode mix) observation.
+        self.stage_registry = stage_registry
+        self.capacity_model = capacity_model
         metrics = registry if registry is not None else MetricsRegistry()
         self.registry = metrics
         self.event_log = (
@@ -480,24 +489,48 @@ class ResilientServer:
             # One recorder per dispatched batch, created only when a
             # traced member reaches the engine — stage spans are batch-
             # phase times, so every traced member carries the same ones.
+            # A profiling runtime (stage_registry set) records every
+            # batch: the profiler needs stage boundaries whether or not
+            # anything is traced, and the recorder doubles as the
+            # thread→stage publisher.
             recorder = None
-            if self._accepts_stages and any(
-                item.trace is not None for _, item, _ in engine
+            if self._accepts_stages and (
+                self.stage_registry is not None
+                or any(item.trace is not None for _, item, _ in engine)
             ):
-                recorder = StageRecorder(self._clock)
-            start = self._clock()
-            if self.fault_plan is not None:
-                # Inside the timed window: injected serve delays feed
-                # the cost model exactly like real service time would.
-                self.fault_plan.serve_tick(len(requests))
-            if recorder is not None:
-                responses = self.server.serve(
-                    requests, snapshot=snapshot, stages=recorder
+                recorder = StageRecorder(
+                    self._clock, registry=self.stage_registry
                 )
-            else:
-                responses = self.server.serve(requests, snapshot=snapshot)
+            # The coarse "engine" window marker brackets the whole serve
+            # call so every profiler sample during engine work carries at
+            # least a stage; the engine's own stage spans nest inside it
+            # (innermost wins at attribution time).
+            if self.stage_registry is not None:
+                self.stage_registry.push("engine")
+            start = self._clock()
+            try:
+                if self.fault_plan is not None:
+                    # Inside the timed window: injected serve delays feed
+                    # the cost model exactly like real service time would.
+                    self.fault_plan.serve_tick(len(requests))
+                if recorder is not None:
+                    responses = self.server.serve(
+                        requests, snapshot=snapshot, stages=recorder
+                    )
+                else:
+                    responses = self.server.serve(requests, snapshot=snapshot)
+            finally:
+                if self.stage_registry is not None:
+                    self.stage_registry.pop()
             elapsed = self._clock() - start
             self._batch_seconds.observe(elapsed)
+            if self.capacity_model is not None:
+                mode_counts: dict[str, int] = {}
+                for _, _, batch_mode in engine:
+                    mode_counts[batch_mode] = mode_counts.get(batch_mode, 0) + 1
+                self.capacity_model.observe(
+                    len(requests), elapsed, mode_counts
+                )
             if recorder is not None:
                 for name, span_start, span_end, _ in recorder.spans:
                     self._stage_seconds.labels(stage=name).observe(
@@ -554,7 +587,15 @@ class ResilientServer:
             for position, item in shed:
                 request = item.request
                 span_start = self._clock()
-                response = _quality_topk_response(request, position, snapshot)
+                if self.stage_registry is not None:
+                    self.stage_registry.push("quality_topk")
+                try:
+                    response = _quality_topk_response(
+                        request, position, snapshot
+                    )
+                finally:
+                    if self.stage_registry is not None:
+                        self.stage_registry.pop()
                 span_end = self._clock()
                 self._stage_seconds.labels(stage="quality_topk").observe(
                     span_end - span_start

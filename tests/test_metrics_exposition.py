@@ -1,0 +1,148 @@
+"""Prometheus text-exposition contracts for the metrics primitives.
+
+A scrape endpoint that emits malformed exposition fails silently at
+the collector — these tests pin the wire format itself:
+
+1. **Label escaping** — backslashes, double quotes and newlines in
+   label *values* are escaped per the exposition spec (label *names*
+   are validated at registration, so they never need escaping).
+2. **Determinism** — two registries populated in different orders
+   expose byte-identical text: families sort by name, a family's
+   series render in stable (first-use) order, and label values render
+   in declared labelname order regardless of kwargs order.
+3. **Histogram consistency** — cumulative buckets end in an implicit
+   ``+Inf`` bucket whose count equals ``_count``, ``_sum`` is the sum
+   of observations, and bucket counts are monotonically nondecreasing.
+"""
+
+import math
+
+from repro.serving import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Label escaping
+# ----------------------------------------------------------------------
+def test_label_values_escape_quotes_backslashes_newlines():
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "requests_total", "by source", labelnames=("source",)
+    )
+    counter.labels(source='say "hi"\\path\nnext').inc()
+    text = registry.to_text()
+    assert r'source="say \"hi\"\\path\nnext"' in text
+    # the escaped line is still one physical line
+    (sample_line,) = [
+        line for line in text.splitlines() if line.startswith("requests_total{")
+    ]
+    assert sample_line.endswith("} 1")
+
+
+def test_plain_and_labeled_series_roundtrip():
+    registry = MetricsRegistry()
+    registry.counter("plain_total", "no labels").inc(2.5)
+    gauge = registry.gauge("depth", "queue depth", labelnames=("queue",))
+    gauge.labels(queue="main").set(7)
+    text = registry.to_text()
+    assert "# TYPE plain_total counter" in text
+    assert "plain_total 2.5" in text
+    assert "# TYPE depth gauge" in text
+    assert 'depth{queue="main"} 7' in text
+    assert text.endswith("\n")  # exposition ends with a newline
+
+
+# ----------------------------------------------------------------------
+# Deterministic ordering
+# ----------------------------------------------------------------------
+def _populate(registry: MetricsRegistry, reverse: bool) -> None:
+    names = ["beta_total", "alpha_total"]
+    if reverse:
+        names = list(reversed(names))
+    for name in names:
+        registry.counter(name, f"help for {name}").inc()
+    histogram = registry.histogram(
+        "latency_seconds", "latency", labelnames=("stage",), buckets=[0.1, 1.0]
+    )
+    stages = ["resolve", "eigh"] if reverse else ["resolve", "eigh"]
+    for stage in stages:
+        histogram.labels(stage=stage).observe(0.05)
+
+
+def test_registry_exposition_is_deterministic_across_insertion_order():
+    first = MetricsRegistry()
+    second = MetricsRegistry()
+    _populate(first, reverse=False)
+    _populate(second, reverse=True)
+    assert first.to_text() == second.to_text()
+    # families sort by name even though beta registered before alpha
+    text = first.to_text()
+    assert text.index("alpha_total") < text.index("beta_total")
+
+
+def test_label_values_render_in_declared_order():
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "ops_total", "", labelnames=("method", "status")
+    )
+    # kwargs given in the opposite order of the declaration
+    counter.labels(status="200", method="GET").inc()
+    assert 'ops_total{method="GET", status="200"} 1' in registry.to_text()
+
+
+# ----------------------------------------------------------------------
+# Histogram exposition consistency
+# ----------------------------------------------------------------------
+def test_histogram_inf_bucket_sum_and_count_are_consistent():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "stage_seconds", "per-stage", buckets=[0.01, 0.1, 1.0]
+    )
+    observations = [0.005, 0.05, 0.5, 5.0, 5.0]
+    for value in observations:
+        histogram.observe(value)
+    text = registry.to_text()
+    lines = text.splitlines()
+    bucket_counts = []
+    bounds = []
+    for line in lines:
+        if line.startswith("stage_seconds_bucket"):
+            bound = line.split('le="')[1].split('"')[0]
+            bounds.append(bound)
+            bucket_counts.append(int(line.rsplit(" ", 1)[1]))
+    # implicit +Inf terminates the ladder and equals _count
+    assert bounds == ["0.01", "0.1", "1", "+Inf"]
+    assert bucket_counts == [1, 2, 3, 5]
+    assert all(
+        later >= earlier
+        for earlier, later in zip(bucket_counts, bucket_counts[1:])
+    )
+    (count_line,) = [l for l in lines if l.startswith("stage_seconds_count")]
+    assert int(count_line.rsplit(" ", 1)[1]) == len(observations)
+    (sum_line,) = [l for l in lines if l.startswith("stage_seconds_sum")]
+    assert float(sum_line.rsplit(" ", 1)[1]) == sum(observations)
+
+
+def test_labeled_histogram_buckets_carry_both_labels():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "io_seconds", "", labelnames=("op",), buckets=[1.0]
+    )
+    histogram.labels(op="read").observe(0.5)
+    text = registry.to_text()
+    assert 'io_seconds_bucket{op="read", le="1"} 1' in text
+    assert 'io_seconds_bucket{op="read", le="+Inf"} 1' in text
+    assert 'io_seconds_sum{op="read"} 0.5' in text
+    assert 'io_seconds_count{op="read"} 1' in text
+
+
+def test_snapshot_buckets_match_exposition():
+    """The JSON snapshot and the text exposition must agree — one
+    source of truth for the cumulative ladder."""
+    registry = MetricsRegistry()
+    histogram = registry.histogram("t_seconds", "", buckets=[0.1, 1.0])
+    for value in (0.05, 0.5, 2.0):
+        histogram.observe(value)
+    snapshot = histogram.snapshot()["series"][0]
+    assert snapshot["count"] == 3
+    assert snapshot["sum"] == 2.55
+    assert snapshot["buckets"] == [[0.1, 1], [1.0, 2], [math.inf, 3]]

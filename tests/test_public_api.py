@@ -60,6 +60,14 @@ SERVING_API = {
     "HEALTHY",
     "DEGRADED",
     "UNHEALTHY",
+    "LoggingBridge",
+    "attach_logging",
+    "StageRegistry",
+    "StackProfile",
+    "SamplingProfiler",
+    "FootprintReport",
+    "CapacityModel",
+    "HeadroomReport",
 }
 
 RETRIEVAL_API = {
@@ -143,6 +151,7 @@ def test_request_and_response_shapes():
         "canary_tolerance",
         "drift_window",
         "drift_threshold",
+        "profile_hz",
         "slos",
         "alert_sink",
     }
